@@ -1,0 +1,418 @@
+// Command qbench regenerates every table and figure of the paper's
+// evaluation (§5): Fig. 5 (module gate-count histograms and FTh),
+// Fig. 6 (parallelism-only speedups vs the critical path), Fig. 7
+// (communication-aware speedups over naive movement), Fig. 8 (local
+// scratchpad capacity sweep), Fig. 9 (Shor's k-sensitivity), Table 1
+// (minimum qubit counts Q) and Table 2 (parallel-rotation
+// serialization).
+//
+// Usage:
+//
+//	qbench -experiment all            # everything, small-scale workloads
+//	qbench -experiment fig7           # one experiment
+//	qbench -experiment fig5 -scale paper
+//	qbench -experiment table1 -scale paper
+//
+// Fig. 5 and Table 1 run at the paper's parameterizations when given
+// -scale paper (they only need symbolic resource estimation); the
+// scheduling experiments always use the scaled-down workloads whose
+// leaves can be materialized (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/numa"
+	"github.com/scaffold-go/multisimd/internal/resource"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run: fig5, fig6, fig7, fig8, fig9, table1, table2, all")
+	scale := flag.String("scale", "small", "workload scale for fig5/table1: small or paper")
+	fth := flag.Int64("fth", 0, "flattening threshold override (0 = scale default)")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *fth); err != nil {
+		fmt.Fprintln(os.Stderr, "qbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scale string, fth int64) error {
+	smallFTh := int64(2000)
+	if fth != 0 {
+		smallFTh = fth
+	}
+	switch exp {
+	case "all":
+		for _, e := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"} {
+			if err := run(e, scale, fth); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "extended":
+		for _, e := range []string{"sensd", "sensepr", "ablation", "fth", "numa"} {
+			if err := run(e, scale, fth); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "sensd":
+		ws, err := workloads(smallFTh, true)
+		if err != nil {
+			return err
+		}
+		rows, err := core.SensD(ws, core.LPFS, 4, []int{2, 4, 8, 16, 32, 0})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Sensitivity to d (§5.4): LPFS, k=4, unlimited local memory, speedup vs naive")
+		fmt.Printf("%-10s", "benchmark")
+		for _, d := range []string{"d=2", "d=4", "d=8", "d=16", "d=32", "d=inf"} {
+			fmt.Printf(" %8s", d)
+		}
+		fmt.Println()
+		for i := 0; i < len(rows); i += 6 {
+			fmt.Printf("%-10s", rows[i].Name)
+			for j := 0; j < 6; j++ {
+				fmt.Printf(" %8.2f", rows[i+j].Speedup)
+			}
+			fmt.Println()
+		}
+		return nil
+	case "sensepr":
+		ws, err := workloads(smallFTh, true)
+		if err != nil {
+			return err
+		}
+		bws := []int{1, 2, 4, 8, 0}
+		rows, err := core.SensEPR(ws, core.LPFS, 4, bws)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Sensitivity to EPR distribution bandwidth (§2.3): LPFS, k=4, speedup vs naive")
+		fmt.Printf("%-10s", "benchmark")
+		for _, bw := range []string{"bw=1", "bw=2", "bw=4", "bw=8", "bw=inf"} {
+			fmt.Printf(" %8s", bw)
+		}
+		fmt.Println()
+		for i := 0; i < len(rows); i += len(bws) {
+			fmt.Printf("%-10s", rows[i].Name)
+			for j := 0; j < len(bws); j++ {
+				fmt.Printf(" %8.2f", rows[i+j].Speedup)
+			}
+			fmt.Println()
+		}
+		return nil
+	case "ablation":
+		ws, err := workloads(smallFTh, true)
+		if err != nil {
+			return err
+		}
+		lp, err := core.AblationLPFS(ws, 4)
+		if err != nil {
+			return err
+		}
+		printAblation("LPFS option ablation (k=4, unlimited local memory, speedup vs naive)", lp, 5)
+		rc, err := core.AblationRCP(ws, 4)
+		if err != nil {
+			return err
+		}
+		printAblation("RCP weight ablation (k=4, unlimited local memory, speedup vs naive)", rc, 4)
+		cm, err := core.AblationComm(ws, core.LPFS, 4)
+		if err != nil {
+			return err
+		}
+		printAblation("Movement accounting ablation (LPFS, k=4, no local memory)", cm, 2)
+		return nil
+	case "fth":
+		var srcs []core.SourceWorkload
+		for _, b := range bench.AllSmall() {
+			srcs = append(srcs, core.SourceWorkload{Name: b.Name, Source: b.Source, Pipeline: b.Pipeline})
+		}
+		fths := []int64{100, 500, 2000, 50000}
+		rows, err := core.SweepFTh(srcs, core.LPFS, 4, fths)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Flattening threshold sweep (§3.1.1): LPFS, k=4, speedup vs naive")
+		fmt.Printf("%-10s %-9s %8s %8s %8s %10s\n", "benchmark", "FTh", "modules", "leaves", "speedup", "analysis")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-9d %8d %8d %8.2f %8dms\n", r.Name, r.FTh, r.Modules, r.Leaves, r.Speedup, r.AnalysisMS)
+		}
+		return nil
+	case "numa":
+		return numaExperiment(smallFTh)
+	case "fig5":
+		return fig5(scale, fth)
+	case "fig6":
+		ws, err := workloads(smallFTh, true)
+		if err != nil {
+			return err
+		}
+		rows, err := core.Fig6(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 6: speedup over sequential execution (zero-cost communication)")
+		fmt.Printf("%-10s %-16s %8s %8s %8s %8s %8s\n", "benchmark", "params", "rcp k=2", "rcp k=4", "lpfs k=2", "lpfs k=4", "cp")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-16s %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+				r.Name, r.Params, r.RCP2, r.RCP4, r.LPFS2, r.LPFS4, r.CP)
+		}
+		return nil
+	case "fig7":
+		ws, err := workloads(smallFTh, true)
+		if err != nil {
+			return err
+		}
+		rows, err := core.Fig7(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 7: speedup over sequential naive-movement execution (communication-aware)")
+		fmt.Printf("%-10s %-16s %8s %8s %8s %8s\n", "benchmark", "params", "rcp k=2", "rcp k=4", "lpfs k=2", "lpfs k=4")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-16s %8.2f %8.2f %8.2f %8.2f\n",
+				r.Name, r.Params, r.RCP2, r.RCP4, r.LPFS2, r.LPFS4)
+		}
+		return nil
+	case "fig8":
+		ws, err := workloads(smallFTh, true)
+		if err != nil {
+			return err
+		}
+		rows, err := core.Fig8(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 8: speedup over naive movement with local memory, Multi-SIMD(4,inf)")
+		fmt.Printf("%-10s %-6s %-5s %8s %8s %8s %8s\n", "benchmark", "Q", "sched", "none", "Q/4", "Q/2", "inf")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-6d %-5s %8.2f %8.2f %8.2f %8.2f\n",
+				r.Name, r.Q, "rcp", r.RCP[0], r.RCP[1], r.RCP[2], r.RCP[3])
+			fmt.Printf("%-10s %-6s %-5s %8.2f %8.2f %8.2f %8.2f\n",
+				"", "", "lpfs", r.LPFS[0], r.LPFS[1], r.LPFS[2], r.LPFS[3])
+		}
+		return nil
+	case "fig9":
+		// A dedicated Shor's instance with a wider exponent register:
+		// the k-sensitivity of §5.4 comes from the inverse QFT's many
+		// distinct-angle rotation blackboxes.
+		b := bench.ShorsSized(4, 16)
+		w, err := buildWorkload(b, smallFTh, true)
+		if err != nil {
+			return err
+		}
+		rows, err := core.Fig9(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 9: Shor's speedup over naive movement vs k (with local memory)")
+		fmt.Printf("%-6s %-6s %8s\n", "sched", "k", "speedup")
+		for _, r := range rows {
+			fmt.Printf("%-6s %-6d %8.2f\n", r.Scheduler, r.K, r.Speedup)
+		}
+		return nil
+	case "table1":
+		ws, err := scaleWorkloads(scale, 0, false)
+		if err != nil {
+			return err
+		}
+		rows, err := core.Table1(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: minimum qubits Q (sequential execution, maximal ancilla reuse)")
+		fmt.Printf("%-10s %-16s %10s\n", "benchmark", "params", "Q")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-16s %10d\n", r.Name, r.Params, r.Q)
+		}
+		return nil
+	case "table2":
+		res, err := core.Table2(8, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 2: parallel rotations serialize after decomposition unless k grows")
+		fmt.Printf("%d data-parallel Rz gates on distinct qubits:\n", res.Rotations)
+		fmt.Printf("%-6s %12s\n", "k", "steps")
+		for _, k := range res.SortedKs() {
+			fmt.Printf("%-6d %12d\n", k, res.StepsAtK[k])
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+// numaExperiment compares qubit-to-bank mapping policies on each
+// benchmark's largest leaf (the paper's §2.3 future-work direction:
+// distributed global memory needs a mapping algorithm).
+func numaExperiment(fth int64) error {
+	ws, err := workloads(fth, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Distributed global memory (§2.3 future work): largest leaf, LPFS k=4, 2 banks")
+	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n",
+		"benchmark", "teleports", "rr far%", "affinity far%", "rr cycles", "aff cycles")
+	for _, w := range ws {
+		est, err := resource.New(w.Prog)
+		if err != nil {
+			return err
+		}
+		var biggest *ir.Module
+		var size int64
+		for _, name := range est.Reachable() {
+			m := w.Prog.Modules[name]
+			if m.IsLeaf() {
+				if sz := m.MaterializedSize(); sz > size {
+					size, biggest = sz, m
+				}
+			}
+		}
+		if biggest == nil {
+			continue
+		}
+		mat, err := biggest.Materialize(1 << 22)
+		if err != nil {
+			return err
+		}
+		g, err := dag.Build(mat)
+		if err != nil {
+			return err
+		}
+		sched, err := lpfs.Schedule(mat, g, lpfs.Options{K: 4})
+		if err != nil {
+			return err
+		}
+		res, err := comm.Analyze(sched, comm.Options{})
+		if err != nil {
+			return err
+		}
+		cfg := numa.Config{Banks: 2}
+		rr, err := numa.Analyze(sched, res, numa.RoundRobin(mat.TotalSlots(), 2), cfg)
+		if err != nil {
+			return err
+		}
+		aff, err := numa.Analyze(sched, res, numa.AffinityMoves(sched, res, 2), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %10d %11.1f%% %12.1f%% %12d %12d\n",
+			w.Name, res.GlobalMoves, 100*rr.FarFraction(), 100*aff.FarFraction(), rr.Cycles, aff.Cycles)
+	}
+	return nil
+}
+
+// printAblation renders variant rows grouped per benchmark.
+func printAblation(title string, rows []core.AblationRow, variants int) {
+	fmt.Println(title)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("%-10s", "benchmark")
+	for i := 0; i < variants; i++ {
+		fmt.Printf(" %20s", rows[i].Variant)
+	}
+	fmt.Println()
+	for i := 0; i < len(rows); i += variants {
+		fmt.Printf("%-10s", rows[i].Name)
+		for j := 0; j < variants; j++ {
+			fmt.Printf(" %20.2f", rows[i+j].Speedup)
+		}
+		fmt.Println()
+	}
+}
+
+func fig5(scale string, fth int64) error {
+	// Fig. 5 characterizes initial modularity, so skip flattening.
+	ws, err := scaleWorkloads(scale, 0, false)
+	if err != nil {
+		return err
+	}
+	useFTh := fth
+	if useFTh == 0 {
+		if scale == "paper" {
+			useFTh = 2_000_000
+		} else {
+			useFTh = 2000
+		}
+	}
+	rows, err := core.Fig5(ws, useFTh)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5: %% of modules per gate-count range (FTh = %d)\n", useFTh)
+	header := []string{"range"}
+	for _, r := range rows {
+		header = append(header, r.Name)
+	}
+	fmt.Println(strings.Join(header, "\t"))
+	for bi, b := range resource.Fig5Buckets {
+		cells := []string{b.Label}
+		for _, r := range rows {
+			cells = append(cells, strconv.FormatFloat(r.Percent[bi], 'f', 1, 64))
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Println("flattenable% (modules at or under FTh):")
+	for _, r := range rows {
+		fmt.Printf("  %-10s %6.1f%%\n", r.Name, r.FlattenedPct)
+	}
+	return nil
+}
+
+func workloads(fth int64, flatten bool) ([]core.Workload, error) {
+	var ws []core.Workload
+	for _, b := range bench.AllSmall() {
+		w, err := buildWorkload(b, fth, flatten)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+func scaleWorkloads(scale string, fth int64, flatten bool) ([]core.Workload, error) {
+	set := bench.AllSmall()
+	if scale == "paper" {
+		set = bench.All()
+	}
+	var ws []core.Workload
+	for _, b := range set {
+		w, err := buildWorkload(b, fth, flatten)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+func buildWorkload(b bench.Benchmark, fth int64, flatten bool) (core.Workload, error) {
+	opts := b.Pipeline
+	if fth != 0 {
+		opts.FTh = fth
+	}
+	opts.SkipFlatten = !flatten
+	p, err := core.Build(b.Source, opts)
+	if err != nil {
+		return core.Workload{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return core.Workload{Name: b.Name, Params: b.Params, Prog: p}, nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestExperimentsRun exercises every experiment end to end at small
+// scale (the printed tables go to stdout; correctness of the numbers is
+// covered by internal/core tests — this pins the drivers and formats).
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow; run without -short")
+	}
+	for _, exp := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "sensd", "sensepr", "ablation", "numa"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, "small", 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("fig99", "small", 0); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

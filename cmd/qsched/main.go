@@ -1,0 +1,185 @@
+// Command qsched explores Multi-SIMD schedules interactively: it
+// compiles a Scaffold-lite program (or built-in benchmark), evaluates it
+// hierarchically under a chosen scheduler and machine configuration, and
+// prints the full metric set — the per-run core of the paper's
+// evaluation flow.
+//
+// Usage:
+//
+//	qsched -bench SHA-1 -sched lpfs -k 4 -local -1
+//	qsched -sched rcp -k 2 program.scf
+//
+// Flags:
+//
+//	-sched rcp|lpfs  fine-grained scheduler (default lpfs)
+//	-k N             SIMD regions (default 4)
+//	-d N             qubits per region per step (default 0 = unlimited)
+//	-local N         scratchpad capacity per region (0 none, -1 unlimited)
+//	-fth N           flattening threshold (default 2000 for exploration)
+//	-entry name      entry module (default "main")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/epr"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+func main() {
+	schedName := flag.String("sched", "lpfs", "scheduler: rcp or lpfs")
+	k := flag.Int("k", 4, "SIMD regions")
+	d := flag.Int("d", 0, "data parallelism per region (0 = unlimited)")
+	local := flag.Int("local", 0, "scratchpad capacity per region (-1 = unlimited)")
+	fth := flag.Int64("fth", 2000, "flattening threshold")
+	entry := flag.String("entry", "main", "entry module")
+	benchName := flag.String("bench", "", "built-in benchmark name")
+	dump := flag.String("dump", "", "dump the fine-grained schedule of the named leaf module (timesteps, regions, move list)")
+	flag.Parse()
+
+	if err := run(*schedName, *k, *d, *local, *fth, *entry, *benchName, *dump, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "qsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schedName string, k, d, local int, fth int64, entry, benchName, dump string, args []string) error {
+	var sched core.Scheduler
+	switch schedName {
+	case "rcp":
+		sched = core.RCP
+	case "lpfs":
+		sched = core.LPFS
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+
+	var src string
+	opts := core.PipelineOptions{Entry: entry, FTh: fth}
+	switch {
+	case benchName != "":
+		b, ok := bench.ByName(benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		src = b.Source
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("expected one source file or -bench name")
+	}
+
+	prog, err := core.Build(src, opts)
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		return dumpLeaf(prog, dump, sched, k, d, local)
+	}
+	m, err := core.Evaluate(prog, core.EvalOptions{
+		Scheduler:     sched,
+		K:             k,
+		D:             d,
+		LocalCapacity: local,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheduler:           %s\n", sched)
+	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", k, dStr(d), capStr(local))
+	fmt.Printf("modules / leaves:    %d / %d\n", m.Modules, m.Leaves)
+	fmt.Printf("total gates:         %d\n", m.TotalGates)
+	fmt.Printf("min qubits Q:        %d\n", m.MinQubits)
+	fmt.Printf("critical path:       %d\n", m.CriticalPath)
+	fmt.Printf("sequential cycles:   %d\n", m.SeqCycles)
+	fmt.Printf("naive-move cycles:   %d\n", m.NaiveCycles)
+	fmt.Printf("scheduled steps:     %d  (zero-cost communication)\n", m.ZeroCommSteps)
+	fmt.Printf("comm-aware cycles:   %d\n", m.CommCycles)
+	fmt.Printf("global moves (EPR):  %d\n", m.GlobalMoves)
+	fmt.Printf("local moves:         %d\n", m.LocalMoves)
+	fmt.Printf("speedup vs seq:      %.2fx (cp bound %.2fx)\n", m.SpeedupVsSeq(), m.CPSpeedup())
+	fmt.Printf("speedup vs naive:    %.2fx\n", m.SpeedupVsNaive())
+	return nil
+}
+
+func dStr(d int) string {
+	if d == 0 {
+		return "inf"
+	}
+	return fmt.Sprint(d)
+}
+
+func capStr(c int) string {
+	switch {
+	case c < 0:
+		return "unlimited"
+	case c == 0:
+		return "none"
+	default:
+		return fmt.Sprint(c)
+	}
+}
+
+// dumpLeaf prints the fine-grained schedule of one leaf module in the
+// paper's timestep/region/move-list format.
+func dumpLeaf(prog *ir.Program, name string, sched core.Scheduler, k, d, local int) error {
+	mod := prog.Module(name)
+	if mod == nil {
+		var leaves []string
+		for _, n := range prog.Order {
+			if prog.Modules[n].IsLeaf() {
+				leaves = append(leaves, n)
+			}
+		}
+		return fmt.Errorf("no module %q; leaf modules: %s", name, strings.Join(leaves, ", "))
+	}
+	if !mod.IsLeaf() {
+		return fmt.Errorf("module %q is not a leaf; only fine-grained schedules can be dumped", name)
+	}
+	mat, err := mod.Materialize(1 << 22)
+	if err != nil {
+		return err
+	}
+	g, err := dag.Build(mat)
+	if err != nil {
+		return err
+	}
+	var s *schedule.Schedule
+	switch sched {
+	case core.RCP:
+		s, err = rcp.Schedule(mat, g, rcp.Options{K: k, D: d})
+	default:
+		s, err = lpfs.Schedule(mat, g, lpfs.Options{K: k, D: d})
+	}
+	if err != nil {
+		return err
+	}
+	res, err := comm.Analyze(s, comm.Options{LocalCapacity: local})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s: %d ops, cp %d, %d steps, %d cycles with movement (%d teleports, %d local moves)\n",
+		name, g.Len(), g.CriticalPath(), s.Length(), res.Cycles, res.GlobalMoves, res.LocalMoves)
+	plan, err := epr.Build(s, res, epr.Config{Bandwidth: 2, Latency: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# EPR pre-distribution (bandwidth 2/cycle, latency 1): %d pairs, %d issued before t0, peak buffer %d\n",
+		plan.Pairs, plan.PreIssued, plan.MaxBuffered)
+	return comm.WriteSchedule(os.Stdout, s, res)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunEvaluation(t *testing.T) {
+	for _, sched := range []string{"rcp", "lpfs"} {
+		if err := run(sched, 4, 0, -1, 2000, "main", "Grovers", "", nil); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	if err := run("lpfs", 2, 0, -1, 2000, "main", "BWT", "walk_step", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("quantum", 4, 0, 0, 2000, "main", "Grovers", "", nil); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := run("lpfs", 4, 0, 0, 2000, "main", "", "", nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("lpfs", 4, 0, 0, 2000, "main", "NotABench", "", nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "no_such_module", nil); err == nil {
+		t.Error("unknown dump module accepted")
+	}
+	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "main", nil); err == nil {
+		t.Error("non-leaf dump accepted")
+	}
+}

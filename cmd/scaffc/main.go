@@ -1,0 +1,160 @@
+// Command scaffc is the Scaffold-lite compiler driver: it parses,
+// checks, lowers, decomposes and flattens a quantum program, then either
+// reports resource estimates or emits flat QASM-HL — the toolflow of the
+// paper's Fig. 3 pipeline (ScaffCC, §3.1) in one binary.
+//
+// Usage:
+//
+//	scaffc [flags] program.scf
+//	scaffc -bench Grovers            # compile a built-in benchmark
+//
+// Flags:
+//
+//	-entry name      entry module (default "main")
+//	-emit qasm|scaffold|none
+//	                 output format: flat QASM-HL, formatted Scaffold-lite
+//	                 source, or a resource report (the default)
+//	-o file          output path (default stdout)
+//	-fth N           flattening threshold (default 2,000,000)
+//	-no-flatten      skip the FTh inlining pass
+//	-no-decompose    keep Toffoli/rotations undecomposed
+//	-reuse           recycle ancilla qubits in flattened leaves
+//	-epsilon e       rotation decomposition accuracy (default 1e-10)
+//	-limit N         QASM emission instruction cap (default 10M)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/parser"
+	"github.com/scaffold-go/multisimd/internal/printer"
+	"github.com/scaffold-go/multisimd/internal/resource"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry module name")
+	emit := flag.String("emit", "none", "output: qasm or none")
+	out := flag.String("o", "", "output file (default stdout)")
+	fth := flag.Int64("fth", 0, "flattening threshold (0 = 2M default)")
+	noFlatten := flag.Bool("no-flatten", false, "skip flattening")
+	noDecompose := flag.Bool("no-decompose", false, "skip gate decomposition")
+	epsilon := flag.Float64("epsilon", 0, "rotation accuracy (0 = 1e-10)")
+	limit := flag.Int64("limit", 0, "QASM instruction cap (0 = 10M)")
+	benchName := flag.String("bench", "", "compile a built-in benchmark instead of a file")
+	ancReuse := flag.Bool("reuse", false, "recycle ancilla qubits in flattened leaves")
+	flag.Parse()
+
+	if err := run(*entry, *emit, *out, *fth, *noFlatten, *noDecompose, *epsilon, *limit, *benchName, *ancReuse, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "scaffc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(entry, emit, out string, fth int64, noFlatten, noDecompose bool, epsilon float64, limit int64, benchName string, ancReuse bool, args []string) error {
+	var src string
+	opts := core.PipelineOptions{
+		Entry:         entry,
+		FTh:           fth,
+		SkipFlatten:   noFlatten,
+		SkipDecompose: noDecompose,
+		Epsilon:       epsilon,
+		AncillaReuse:  ancReuse,
+	}
+	switch {
+	case benchName != "":
+		b, ok := bench.ByName(benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try BF, BWT, CN, Grovers, GSE, SHA-1, Shors, TFP)", benchName)
+		}
+		src = b.Source
+		if b.Pipeline.FTh != 0 && fth == 0 {
+			opts.FTh = b.Pipeline.FTh
+		}
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("expected exactly one source file or -bench name")
+	}
+
+	prog, err := core.Build(src, opts)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch emit {
+	case "scaffold":
+		tree, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, printer.Program(tree))
+		return err
+	case "qasm":
+		n, err := core.EmitQASM(w, prog, limit)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scaffc: emitted %d instructions\n", n)
+		return nil
+	case "none":
+		return report(w, prog)
+	}
+	return fmt.Errorf("unknown -emit %q", emit)
+}
+
+// report prints the resource-estimation summary: total gates, minimum
+// qubits Q, and the per-module gate-count table (largest first).
+func report(w io.Writer, prog *ir.Program) error {
+	est, err := resource.New(prog)
+	if err != nil {
+		return err
+	}
+	gates, err := est.TotalGates()
+	if err != nil {
+		return err
+	}
+	q, err := est.MinQubits()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total gates:   %d\n", gates)
+	fmt.Fprintf(w, "min qubits Q:  %d\n", q)
+	mods, err := est.SortedModuleGates()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "modules:       %d reachable\n", len(mods))
+	fmt.Fprintln(w, "module gate counts:")
+	for i, mc := range mods {
+		if i == 20 {
+			fmt.Fprintf(w, "  ... and %d more\n", len(mods)-20)
+			break
+		}
+		leaf := " "
+		if m := prog.Modules[mc.Name]; m != nil && m.IsLeaf() {
+			leaf = "L"
+		}
+		fmt.Fprintf(w, "  %s %-32s %d\n", leaf, mc.Name, mc.Gates)
+	}
+	return nil
+}

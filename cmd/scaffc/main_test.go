@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validSample = `
+module f(qbit x[2], qbit anc) {
+  CNOT(x[0], x[1]);
+  Toffoli(x[0], x[1], anc);
+}
+module main() {
+  qbit q[2];
+  qbit a;
+  H(q[0]);
+  f(q, a);
+}
+`
+
+func TestRunReport(t *testing.T) {
+	src := writeTemp(t, "p.scf", validSample)
+	out := filepath.Join(t.TempDir(), "report.txt")
+	if err := run("main", "none", out, 0, false, false, 0, 0, "", false, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "total gates:") || !strings.Contains(text, "min qubits Q:") {
+		t.Errorf("report missing fields:\n%s", text)
+	}
+}
+
+func TestRunEmitQASM(t *testing.T) {
+	src := writeTemp(t, "p.scf", validSample)
+	out := filepath.Join(t.TempDir(), "out.qasm")
+	if err := run("main", "qasm", out, 0, false, false, 0, 0, "", false, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "H(q[0])") {
+		t.Errorf("qasm missing gates:\n%s", text)
+	}
+	// Toffoli must have decomposed to primitives.
+	if strings.Contains(text, "Toffoli") {
+		t.Error("Toffoli not decomposed")
+	}
+}
+
+func TestRunEmitScaffold(t *testing.T) {
+	src := writeTemp(t, "p.scf", validSample)
+	out := filepath.Join(t.TempDir(), "fmt.scf")
+	if err := run("main", "scaffold", out, 0, false, false, 0, 0, "", false, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module f(qbit x[2], qbit anc)") {
+		t.Errorf("formatted source wrong:\n%s", data)
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.txt")
+	if err := run("main", "none", out, 2000, false, false, 0, 0, "Grovers", false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("main", "none", "", 0, false, false, 0, 0, "", false, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("main", "none", "", 0, false, false, 0, 0, "NotABench", false, nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	src := writeTemp(t, "bad.scf", "this is not scaffold")
+	if err := run("main", "none", "", 0, false, false, 0, 0, "", false, []string{src}); err == nil {
+		t.Error("bad source accepted")
+	}
+	good := writeTemp(t, "ok.scf", validSample)
+	if err := run("main", "pdf", "", 0, false, false, 0, 0, "", false, []string{good}); err == nil {
+		t.Error("unknown emit format accepted")
+	}
+}

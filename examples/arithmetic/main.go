@@ -1,0 +1,132 @@
+// Reversible arithmetic as a library: build a custom fixed-point
+// computation out of the CTQG generators, verify it bit-exactly on the
+// simulator, then look at what the compiler does with it — the workflow
+// a downstream user follows to bring their own kernels onto the
+// Multi-SIMD machine.
+//
+//	go run ./examples/arithmetic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+	"github.com/scaffold-go/multisimd/internal/sim"
+)
+
+const n = 3 // operand width
+
+func main() {
+	// Compose a kernel from library circuits:
+	//   p    = a * b            (2n-bit product)
+	//   c   += p mod 2^n        (in-place add, carry into ovf)
+	//   flag = c < a            (comparator)
+	var sb strings.Builder
+	sb.WriteString(ctqg.Adder("add", n))
+	sb.WriteString(ctqg.CtrlCopy("ccopy", n))
+	sb.WriteString(ctqg.CtrlAdder("cadd", "ccopy", "add", n))
+	sb.WriteString(ctqg.Multiplier("mul", "cadd", n))
+	sb.WriteString(ctqg.CarryOf("carry", n))
+	sb.WriteString(ctqg.LessThan("lt", "carry", n))
+	fmt.Fprintf(&sb, `
+module kernel(qbit a[%d], qbit b[%d], qbit c[%d], qbit p[%d], qbit cin, qbit ovf, qbit flag) {
+  mul(a, b, p, cin);
+  add(p[0:%d], c, cin, ovf);
+  lt(c, a, cin, flag);
+}
+`, n, n, n, 2*n, n)
+
+	a, b, c := uint64(3), uint64(3), uint64(7)
+	sb.WriteString("module main() {\n")
+	fmt.Fprintf(&sb, "  qbit a[%d];\n  qbit b[%d];\n  qbit c[%d];\n  qbit p[%d];\n  qbit cin;\n  qbit ovf;\n  qbit flag;\n", n, n, n, 2*n)
+	emitInit(&sb, "a", a)
+	emitInit(&sb, "b", b)
+	emitInit(&sb, "c", c)
+	sb.WriteString("  kernel(a, b, c, p, cin, ovf, flag);\n}\n")
+
+	prog, err := core.Frontend(sb.String(), core.PipelineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry := prog.EntryModule()
+	st, err := sim.NewState(entry.TotalSlots() + n + 1) // ancilla room
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.RunProgram(prog); err != nil {
+		log.Fatal(err)
+	}
+	basis := dominant(st)
+	read := func(reg string) uint64 {
+		r, ok := entry.RegRange(reg)
+		if !ok {
+			log.Fatalf("no register %q", reg)
+		}
+		return extract(basis, r.Start, r.Len)
+	}
+	prod := read("p")
+	sum := read("c")
+	ovf := read("ovf")
+	flag := read("flag")
+
+	mask := uint64(1<<n - 1)
+	wantProd := a * b
+	wantSum := (c + (wantProd & mask)) & mask
+	wantOvf := (c + (wantProd & mask)) >> n
+	wantFlag := uint64(0)
+	if wantSum < a {
+		wantFlag = 1
+	}
+	fmt.Printf("kernel(a=%d, b=%d, c=%d):\n", a, b, c)
+	fmt.Printf("  p = a*b           = %2d (expected %d)\n", prod, wantProd)
+	fmt.Printf("  c += p mod %d      = %2d carry %d (expected %d carry %d)\n", 1<<n, sum, ovf, wantSum, wantOvf)
+	fmt.Printf("  flag = c < a      = %2d (expected %d)\n", flag, wantFlag)
+	if prod != wantProd || sum != wantSum || ovf != wantOvf || flag != wantFlag {
+		log.Fatal("kernel semantics wrong")
+	}
+
+	// Now through the full compiler: decompose, flatten, schedule.
+	built, err := core.Build(sb.String(), core.PipelineOptions{FTh: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := core.Evaluate(built, core.EvalOptions{Scheduler: core.LPFS, K: 4, LocalCapacity: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled: %d Clifford+T gates over %d qubits (Q)\n", m.TotalGates, m.MinQubits)
+	fmt.Printf("LPFS on Multi-SIMD(4,inf) with scratchpads: %d cycles, %.2fx over naive movement\n",
+		m.CommCycles, m.SpeedupVsNaive())
+}
+
+func emitInit(sb *strings.Builder, reg string, v uint64) {
+	for i := 0; i < n; i++ {
+		if v&(1<<uint(i)) != 0 {
+			fmt.Fprintf(sb, "  X(%s[%d]);\n", reg, i)
+		}
+	}
+}
+
+func dominant(st *sim.State) uint64 {
+	for i := uint64(0); i < 1<<uint(st.N()); i++ {
+		if cmplx.Abs(st.Amplitude(i)) > 0.999 {
+			return i
+		}
+	}
+	log.Fatal("state not a basis state")
+	return 0
+}
+
+func extract(basis uint64, start, length int) uint64 {
+	var v uint64
+	for i := 0; i < length; i++ {
+		if basis&(1<<uint(start+i)) != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module github.com/scaffold-go/multisimd
+
+go 1.24

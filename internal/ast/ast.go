@@ -1,0 +1,155 @@
+// Package ast defines the abstract syntax tree for Scaffold-lite programs.
+//
+// The language is deliberately close to the paper's Scaffold subset that
+// matters for scheduling: module definitions over qbit registers, built-in
+// gate applications, module calls, and fully classical control flow
+// (for loops with compile-time bounds, if/else over compile-time integer
+// conditions). All classical expressions are integers except gate angles,
+// which are floating point.
+package ast
+
+import "github.com/scaffold-go/multisimd/internal/scaffold"
+
+// Program is a parsed source file: an ordered list of module definitions.
+type Program struct {
+	Modules []*Module
+}
+
+// Module is one module definition.
+type Module struct {
+	Name   string
+	Params []Param
+	Body   *Block
+	Pos    scaffold.Pos
+}
+
+// Param declares one qbit (or cbit) parameter. Size 1 denotes a scalar;
+// larger sizes are register arrays. Classical parameters are accepted for
+// surface compatibility but carry no qubits.
+type Param struct {
+	Name      string
+	Size      int
+	Classical bool
+	Pos       scaffold.Pos
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// DeclStmt declares a local qbit/cbit register. Size is an integer
+// expression resolved during lowering.
+type DeclStmt struct {
+	Name      string
+	Size      Expr // nil for scalar
+	Classical bool
+	Pos       scaffold.Pos
+}
+
+// GateStmt applies a built-in gate. Angle is non-nil for rotations.
+type GateStmt struct {
+	Name  string
+	Args  []QubitExpr
+	Angle Expr
+	Pos   scaffold.Pos
+}
+
+// CallStmt invokes another module.
+type CallStmt struct {
+	Callee string
+	Args   []QubitExpr
+	Pos    scaffold.Pos
+}
+
+// ForStmt is a classical counted loop: for (i = lo; i < hi; i++) body.
+type ForStmt struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Body *Block
+	Pos  scaffold.Pos
+}
+
+// IfStmt is a classical compile-time conditional.
+type IfStmt struct {
+	Cond Cond
+	Then *Block
+	Else *Block // may be nil
+	Pos  scaffold.Pos
+}
+
+func (*DeclStmt) stmt() {}
+func (*GateStmt) stmt() {}
+func (*CallStmt) stmt() {}
+func (*ForStmt) stmt()  {}
+func (*IfStmt) stmt()   {}
+
+// Cond is a comparison between two integer expressions.
+type Cond struct {
+	Op  scaffold.Kind // Lt, Le, Gt, Ge, EqEq, NotEq
+	L   Expr
+	R   Expr
+	Pos scaffold.Pos
+}
+
+// QubitExpr references qubits as a gate or call argument: a whole register
+// (Index and SliceHi nil), one element (Index non-nil), or a half-open
+// slice name[Lo:Hi] (Index = Lo, SliceHi = Hi).
+type QubitExpr struct {
+	Name    string
+	Index   Expr
+	SliceHi Expr
+	Pos     scaffold.Pos
+}
+
+// IsSlice reports whether the reference is a slice.
+func (q QubitExpr) IsSlice() bool { return q.SliceHi != nil }
+
+// IsWhole reports whether the reference names a whole register.
+func (q QubitExpr) IsWhole() bool { return q.Index == nil && q.SliceHi == nil }
+
+// Expr is a classical expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Pos   scaffold.Pos
+}
+
+// FloatLit is a floating-point literal (angles only).
+type FloatLit struct {
+	Value float64
+	Pos   scaffold.Pos
+}
+
+// VarRef references a loop variable.
+type VarRef struct {
+	Name string
+	Pos  scaffold.Pos
+}
+
+// BinExpr is a binary arithmetic expression over integers (or one float
+// at the top of an angle expression).
+type BinExpr struct {
+	Op  scaffold.Kind // Plus, Minus, Star, Slash, Percent, Shl
+	L   Expr
+	R   Expr
+	Pos scaffold.Pos
+}
+
+// NegExpr is unary negation.
+type NegExpr struct {
+	E   Expr
+	Pos scaffold.Pos
+}
+
+func (*IntLit) expr()   {}
+func (*FloatLit) expr() {}
+func (*VarRef) expr()   {}
+func (*BinExpr) expr()  {}
+func (*NegExpr) expr()  {}

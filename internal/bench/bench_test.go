@@ -1,0 +1,95 @@
+package bench_test
+
+import (
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/resource"
+)
+
+// TestSmallBenchmarksCompile pushes every scaled-down benchmark through
+// the complete pipeline and evaluates it under both schedulers.
+func TestSmallBenchmarksCompile(t *testing.T) {
+	for _, b := range bench.AllSmall() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opts := b.Pipeline
+			opts.FTh = 2000 // small-scale FTh keeps hierarchy interesting
+			p, err := core.Build(b.Source, opts)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			est, err := resource.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gates, err := est.TotalGates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gates < 100 {
+				t.Errorf("suspiciously small benchmark: %d gates", gates)
+			}
+			q, err := est.MinQubits()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q < 5 {
+				t.Errorf("suspiciously few qubits: %d", q)
+			}
+			for _, sched := range []core.Scheduler{core.RCP, core.LPFS} {
+				m, err := core.Evaluate(p, core.EvalOptions{Scheduler: sched, K: 4})
+				if err != nil {
+					t.Fatalf("%v evaluate: %v", sched, err)
+				}
+				if m.ZeroCommSteps <= 0 || m.ZeroCommSteps > m.SeqCycles {
+					t.Errorf("%v: zero-comm steps %d outside (0, %d]", sched, m.ZeroCommSteps, m.SeqCycles)
+				}
+				if m.CommCycles < m.ZeroCommSteps {
+					t.Errorf("%v: comm cycles %d below step count %d", sched, m.CommCycles, m.ZeroCommSteps)
+				}
+				if m.CommCycles > m.NaiveCycles*2 {
+					t.Errorf("%v: comm cycles %d wildly above naive %d", sched, m.CommCycles, m.NaiveCycles)
+				}
+				t.Logf("%s %v: gates=%d Q=%d cp=%d steps=%d comm=%d speedup(seq)=%.2f speedup(naive)=%.2f",
+					b.Name, sched, gates, q, m.CriticalPath, m.ZeroCommSteps, m.CommCycles,
+					m.SpeedupVsSeq(), m.SpeedupVsNaive())
+			}
+		})
+	}
+}
+
+// TestPaperScaleResourceEstimation checks the paper-parameter benchmarks
+// stay analyzable without materialization and land in the paper's
+// 10^7–10^12 gate range.
+func TestPaperScaleResourceEstimation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation is slow; run without -short")
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opts := b.Pipeline
+			p, err := core.Build(b.Source, opts)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			est, err := resource.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gates, err := est.TotalGates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gates < 1_000_000 {
+				t.Errorf("paper-scale %s has only %d gates", b.Name, gates)
+			}
+			t.Logf("%s (%s): %d gates", b.Name, b.Params, gates)
+		})
+	}
+}

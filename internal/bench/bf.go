@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+)
+
+// BF generates the Boolean Formula benchmark (§3.3, Ambainis et al.):
+// evaluating a winning strategy for Hex on an x-by-y board by quantum
+// walk over the AND-OR formula tree. Following the paper, the formula
+// evaluation core is CTQG-produced classical logic — unoptimized and
+// locally serial (§5.2) — wrapped in amplitude amplification. The walk
+// repetition count follows the N^(1/2+o(1)) formula-evaluation bound
+// with the constant chosen to land in the paper's reported gate range.
+func BF(x, y int) Benchmark { return BFSized(x, y, int64(1)<<uint(4*(x+y))) }
+
+// BFSized exposes the amplification count for scaled-down runs.
+func BFSized(x, y int, iterations int64) Benchmark {
+	cells := x * y
+	var sb strings.Builder
+	sb.WriteString(ctqg.MultiCX("mcx_row", y))
+	sb.WriteString(ctqg.MultiCX("mcx_cells", cells))
+
+	// Formula leaf evaluation: per row, AND of the row's cells (a Hex
+	// chain) computed into a row flag; the formula value ORs the rows.
+	fmt.Fprintf(&sb, "module eval_rows(qbit board[%d], qbit rows[%d]) {\n", cells, x)
+	for r := 0; r < x; r++ {
+		if y >= 2 {
+			fmt.Fprintf(&sb, "  mcx_row(board[%d:%d], rows[%d]);\n", r*y, (r+1)*y, r)
+		} else {
+			fmt.Fprintf(&sb, "  CNOT(board[%d], rows[%d]);\n", r*y, r)
+		}
+	}
+	sb.WriteString("}\n")
+
+	// OR via De Morgan: flag ^= NOT(AND(NOT rows)).
+	fmt.Fprintf(&sb, "module or_rows(qbit rows[%d], qbit flag) {\n", x)
+	xWall(&sb, "rows", x)
+	if x >= 2 {
+		sb.WriteString("  mcx_or(rows, flag);\n")
+	} else {
+		sb.WriteString("  CNOT(rows[0], flag);\n")
+	}
+	sb.WriteString("  X(flag);\n")
+	xWall(&sb, "rows", x)
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module formula_oracle(qbit board[%d], qbit rows[%d], qbit anc) {\n", cells, x)
+	sb.WriteString("  eval_rows(board, rows);\n")
+	sb.WriteString("  or_rows(rows, anc);\n")
+	sb.WriteString("  eval_rows(board, rows);\n")
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module bf_diffusion(qbit board[%d], qbit anc) {\n", cells)
+	hWall(&sb, "board", cells)
+	xWall(&sb, "board", cells)
+	if cells >= 2 {
+		sb.WriteString("  mcx_cells(board, anc);\n")
+	} else {
+		sb.WriteString("  CNOT(board[0], anc);\n")
+	}
+	xWall(&sb, "board", cells)
+	hWall(&sb, "board", cells)
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit board[%d];\n  qbit rows[%d];\n  qbit anc;\n", cells, x)
+	sb.WriteString("  X(anc);\n  H(anc);\n")
+	hWall(&sb, "board", cells)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n", iterations)
+	sb.WriteString("    formula_oracle(board, rows, anc);\n    bf_diffusion(board, anc);\n  }\n")
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(board[i]);\n  }\n", cells)
+	sb.WriteString("}\n")
+
+	src := sb.String()
+	if x >= 2 {
+		src = ctqg.MultiCX("mcx_or", x) + src
+	}
+	return Benchmark{
+		Name:   "BF",
+		Params: fmt.Sprintf("x=%d, y=%d", x, y),
+		Source: src,
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BWT generates the Binary Welded Tree benchmark (§3.3): a discrete-time
+// quantum random walk on two height-n binary trees welded at the leaves,
+// run for s steps to traverse entry to exit (Childs et al.).
+//
+// Each walk step diffuses a coin register and conditionally updates the
+// node register through the welded-edge coloring: per tree level, the
+// coin controls an ancestor/descendant shift realized with Toffoli and
+// CNOT ladders — the mixture of short data-parallel layers and coin
+// serialization that gives BWT its mid-pack parallelism in the paper.
+func BWT(n, s int) Benchmark {
+	var sb strings.Builder
+	nodeBits := n + 2 // node label width: height n plus tree/weld tag
+
+	// Coin diffusion: Hadamard coin over the 2-qubit coin register plus
+	// an entangling layer with the node tag.
+	fmt.Fprintf(&sb, "module coin_flip(qbit coin[2], qbit node[%d]) {\n", nodeBits)
+	sb.WriteString("  H(coin[0]);\n  H(coin[1]);\n")
+	fmt.Fprintf(&sb, "  CNOT(coin[0], node[%d]);\n", nodeBits-1)
+	fmt.Fprintf(&sb, "  CNOT(coin[1], node[%d]);\n", nodeBits-2)
+	sb.WriteString("}\n")
+
+	// Edge-color shift: for each level, conditionally propagate the walk
+	// along color-c edges: Toffoli ladder controlled by the coin.
+	for c := 0; c < 3; c++ {
+		fmt.Fprintf(&sb, "module shift_c%d(qbit coin[2], qbit node[%d]) {\n", c, nodeBits)
+		// Color selection: X-conjugate the coin so the ladder fires for
+		// coin value c.
+		if c&1 == 0 {
+			sb.WriteString("  X(coin[0]);\n")
+		}
+		if c&2 == 0 {
+			sb.WriteString("  X(coin[1]);\n")
+		}
+		for i := 0; i+1 < nodeBits; i++ {
+			fmt.Fprintf(&sb, "  Toffoli(coin[0], coin[1], node[%d]);\n", i)
+			fmt.Fprintf(&sb, "  CNOT(node[%d], node[%d]);\n", i, i+1)
+		}
+		if c&1 == 0 {
+			sb.WriteString("  X(coin[0]);\n")
+		}
+		if c&2 == 0 {
+			sb.WriteString("  X(coin[1]);\n")
+		}
+		sb.WriteString("}\n")
+	}
+
+	fmt.Fprintf(&sb, "module walk_step(qbit coin[2], qbit node[%d]) {\n", nodeBits)
+	sb.WriteString("  coin_flip(coin, node);\n")
+	for c := 0; c < 3; c++ {
+		fmt.Fprintf(&sb, "  shift_c%d(coin, node);\n", c)
+	}
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit coin[2];\n  qbit node[%d];\n", nodeBits)
+	// Start at the entry node |0...0>, walk s steps, measure.
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    walk_step(coin, node);\n  }\n", s)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(node[i]);\n  }\n", nodeBits)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "BWT",
+		Params: fmt.Sprintf("n=%d, s=%d", n, s),
+		Source: sb.String(),
+	}
+}

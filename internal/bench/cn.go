@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+)
+
+// CN generates the Class Number benchmark (§3.3, Hallgren): computing
+// the class group of a real quadratic number field, parameterized by p,
+// the number of digits kept after the radix point. The quantum core is
+// period finding over the regulator, whose oracle is fixed-point
+// arithmetic — CTQG adders, multipliers and comparators over p-digit
+// operands — making CN the most arithmetic-bound benchmark in the suite.
+func CN(p int) Benchmark { return CNSized(p, 4*p, 2*p) }
+
+// CNSized exposes the operand width in bits and the period-finding
+// superposition width directly (the default derivation uses 4 bits per
+// digit).
+func CNSized(p, width, expBits int) Benchmark {
+	w := width
+	var sb strings.Builder
+	sb.WriteString(ctqg.Adder("cn_add", w))
+	sb.WriteString(ctqg.CtrlCopy("cn_ccopy", w))
+	sb.WriteString(ctqg.CtrlAdder("cn_cadd", "cn_ccopy", "cn_add", w))
+	sb.WriteString(ctqg.Multiplier("cn_mul", "cn_cadd", w))
+	sb.WriteString(ctqg.CarryOf("cn_carry", w))
+	sb.WriteString(ctqg.LessThan("cn_lt", "cn_carry", w))
+	sb.WriteString(ctqg.ConstAdd("cn_kadd", "cn_add", w, 0xB))
+
+	// One step of the continued-fraction/regulator iteration: a
+	// fixed-point multiply, a constant offset, and a comparison driving
+	// a controlled correction (all reversible, inputs preserved).
+	fmt.Fprintf(&sb, "module cn_step(qbit u[%d], qbit v[%d], qbit prod[%d], qbit flag, qbit cin) {\n", w, w, 2*w)
+	sb.WriteString("  cn_mul(u, v, prod, cin);\n")
+	fmt.Fprintf(&sb, "  cn_kadd(prod[0:%d], cin, prod[%d]);\n", w, w)
+	fmt.Fprintf(&sb, "  cn_lt(u, prod[0:%d], cin, flag);\n", w)
+	fmt.Fprintf(&sb, "  cn_cadd(flag, u, v, cin, prod[%d]);\n", 2*w-1)
+	sb.WriteString("}\n")
+
+	// Controlled oracle power for period finding: the exponent qubit
+	// gates the whole iteration via a controlled seed injection.
+	fmt.Fprintf(&sb, "module cn_ctrl_step(qbit ctl, qbit u[%d], qbit v[%d], qbit prod[%d], qbit flag, qbit cin) {\n", w, w, 2*w)
+	fmt.Fprintf(&sb, "  cn_ccopy(ctl, u, v);\n")
+	sb.WriteString("  cn_step(u, v, prod, flag, cin);\n")
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit expo[%d];\n  qbit u[%d];\n  qbit v[%d];\n  qbit prod[%d];\n  qbit flag;\n  qbit cin;\n",
+		expBits, w, w, 2*w)
+	hWall(&sb, "expo", expBits)
+	// Seed the fixed-point registers with the fundamental-unit
+	// approximation pattern.
+	for i := 0; i < w; i += 3 {
+		fmt.Fprintf(&sb, "  X(u[%d]);\n", i)
+	}
+	for j := 0; j < expBits; j++ {
+		// Period finding applies the j-th controlled power U^(2^j) as
+		// 2^j repetitions of the regulator iteration.
+		reps := int64(1) << uint(j)
+		fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    cn_ctrl_step(expo[%d], u, v, prod, flag, cin);\n  }\n", reps, j)
+	}
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    H(expo[i]);\n    MeasZ(expo[i]);\n  }\n", expBits)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "CN",
+		Params: fmt.Sprintf("p=%d", p),
+		Source: sb.String(),
+	}
+}

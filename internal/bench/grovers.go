@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+)
+
+// Grovers generates Grover's database search over 2^n elements (§3.3),
+// amplitude amplification with round(π/4·√2^n) iterations of an oracle
+// marking a fixed element followed by the diffusion operator.
+func Grovers(n int) Benchmark { return GroversSized(n, groverIterations(n)) }
+
+// GroversSized exposes the iteration count for scaled-down runs.
+func GroversSized(n int, iterations int64) Benchmark {
+	var sb strings.Builder
+	sb.WriteString(ctqg.MultiCX("mcx", n))
+
+	// Oracle: phase-flip the marked element (alternating bit pattern)
+	// via X-conjugated multi-controlled Z (H·MCX·H on the last qubit).
+	sb.WriteString(fmt.Sprintf("module oracle(qbit q[%d], qbit anc) {\n", n))
+	for i := 0; i < n; i += 2 {
+		fmt.Fprintf(&sb, "  X(q[%d]);\n", i)
+	}
+	sb.WriteString("  mcx(q, anc);\n")
+	for i := 0; i < n; i += 2 {
+		fmt.Fprintf(&sb, "  X(q[%d]);\n", i)
+	}
+	sb.WriteString("}\n")
+
+	// Diffusion: H wall, X wall, multi-controlled Z over q via the
+	// phase-kickback ancilla, undo.
+	sb.WriteString(fmt.Sprintf("module diffusion(qbit q[%d], qbit anc) {\n", n))
+	{
+		hWall(&sb, "q", n)
+		xWall(&sb, "q", n)
+		sb.WriteString("  mcx(q, anc);\n")
+		xWall(&sb, "q", n)
+		hWall(&sb, "q", n)
+	}
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module grover_iter(qbit q[%d], qbit anc) {\n", n)
+	sb.WriteString("  oracle(q, anc);\n  diffusion(q, anc);\n}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit q[%d];\n  qbit anc;\n", n)
+	// Phase-kickback ancilla in |−>.
+	sb.WriteString("  X(anc);\n  H(anc);\n")
+	hWall(&sb, "q", n)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    grover_iter(q, anc);\n  }\n", iterations)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(q[i]);\n  }\n", n)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "Grovers",
+		Params: fmt.Sprintf("n=%d", n),
+		Source: sb.String(),
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+)
+
+// SHA1 generates the SHA-1 preimage benchmark (§3.3): the reversible
+// SHA-1 compression function used as the oracle inside Grover's search
+// over an n-bit message. All round logic — Ch/Parity/Maj choice
+// functions, the 5-way modular additions and the rotations — is
+// CTQG-style reversible logic over 32-bit words, 80 rounds.
+// The amplification count is capped at 2^20 iterations, which already
+// drives the full benchmark to the paper's ~10^12-gate scale.
+func SHA1(n int) Benchmark { return SHA1Sized(n, 32, 80, groverIterationsCapped(n, 1<<20)) }
+
+// SHA1Sized exposes the word width, round count and Grover iterations
+// for scaled-down runs.
+func SHA1Sized(n, word, rounds int, iterations int64) Benchmark {
+	w := word
+	var sb strings.Builder
+	sb.WriteString(ctqg.Adder("sha_add", w))
+	sb.WriteString(ctqg.ChFunc("sha_ch", w))
+	sb.WriteString(ctqg.ParityFunc("sha_parity", w))
+	sb.WriteString(ctqg.MajFunc("sha_maj", w))
+	sb.WriteString(ctqg.RotL("sha_rotl5", w, 5%w))
+	sb.WriteString(ctqg.RotL("sha_rotl5inv", w, w-5%w))
+	sb.WriteString(ctqg.RotL("sha_rotl30", w, 30%w))
+	sb.WriteString(ctqg.ConstAdd("sha_k0", "sha_add", w, 0x5A827999&uint64(1<<uint(w)-1)))
+	sb.WriteString(ctqg.ConstAdd("sha_k1", "sha_add", w, 0x6ED9EBA1&uint64(1<<uint(w)-1)))
+	sb.WriteString(ctqg.ConstAdd("sha_k2", "sha_add", w, 0x8F1BBCDC&uint64(1<<uint(w)-1)))
+	sb.WriteString(ctqg.ConstAdd("sha_k3", "sha_add", w, 0xCA62C1D6&uint64(1<<uint(w)-1)))
+
+	// One SHA-1 round: f(b,c,d) into a temp, e += rotl5(a) + f + k + w_t,
+	// then b <- rotl30(b) and the register renaming is realized by
+	// rotating the role of the word registers in the caller.
+	fName := func(r int) (string, string) {
+		switch {
+		case r < rounds/4:
+			return "sha_ch", "sha_k0"
+		case r < rounds/2:
+			return "sha_parity", "sha_k1"
+		case r < 3*rounds/4:
+			return "sha_maj", "sha_k2"
+		default:
+			return "sha_parity", "sha_k3"
+		}
+	}
+	for _, fn := range []string{"sha_ch", "sha_parity", "sha_maj"} {
+		fmt.Fprintf(&sb, "module sha_round_%s(qbit a[%d], qbit b[%d], qbit c[%d], qbit d[%d], qbit e[%d], qbit wt[%d], qbit f[%d], qbit cin, qbit cout) {\n",
+			strings.TrimPrefix(fn, "sha_"), w, w, w, w, w, w, w)
+		fmt.Fprintf(&sb, "  %s(b, c, d, f);\n", fn)
+		sb.WriteString("  sha_rotl5(a);\n")
+		sb.WriteString("  sha_add(a, e, cin, cout);\n")
+		sb.WriteString("  sha_rotl5inv(a);\n") // restore a
+		sb.WriteString("  sha_add(f, e, cin, cout);\n")
+		sb.WriteString("  sha_add(wt, e, cin, cout);\n")
+		fmt.Fprintf(&sb, "  %s(b, c, d, f);\n", fn) // uncompute f
+		sb.WriteString("  sha_rotl30(b);\n")
+		sb.WriteString("}\n")
+	}
+
+	// Message schedule: w_t = rotl1(w_{t-3} ^ w_{t-8} ^ w_{t-14} ^
+	// w_{t-16}); realized over a window of schedule registers with
+	// CNOT fans.
+	sb.WriteString(ctqg.RotL("sha_rotl1", w, 1%w))
+	// In-place form: wt is w_{t-16}'s register, so only three source
+	// words XOR into it (FIPS 180-4's circular schedule window).
+	fmt.Fprintf(&sb, "module sha_expand(qbit w3[%d], qbit w8[%d], qbit w14[%d], qbit wt[%d]) {\n", w, w, w, w)
+	for i := 0; i < w; i++ {
+		fmt.Fprintf(&sb, "  CNOT(w3[%d], wt[%d]);\n", i, i)
+		fmt.Fprintf(&sb, "  CNOT(w8[%d], wt[%d]);\n", i, i)
+		fmt.Fprintf(&sb, "  CNOT(w14[%d], wt[%d]);\n", i, i)
+	}
+	sb.WriteString("  sha_rotl1(wt);\n")
+	sb.WriteString("}\n")
+
+	// Compression over the message block: 16 schedule words live in the
+	// message register window; rounds rotate the a..e roles statically.
+	msgWords := 16
+	if rounds < 16 {
+		msgWords = rounds
+	}
+	fmt.Fprintf(&sb, "module sha_compress(qbit msg[%d], qbit h[%d], qbit f[%d], qbit cin, qbit cout) {\n",
+		msgWords*w, 5*w, w)
+	role := func(r, k int) string {
+		idx := ((k-r)%5 + 5) % 5
+		return fmt.Sprintf("h[%d:%d]", idx*w, (idx+1)*w)
+	}
+	for r := 0; r < rounds; r++ {
+		fn, kmod := fName(r)
+		wt := fmt.Sprintf("msg[%d:%d]", (r%msgWords)*w, (r%msgWords+1)*w)
+		if r >= msgWords {
+			fmt.Fprintf(&sb, "  sha_expand(msg[%d:%d], msg[%d:%d], msg[%d:%d], %s);\n",
+				((r-3)%msgWords)*w, ((r-3)%msgWords+1)*w,
+				((r-8)%msgWords)*w, ((r-8)%msgWords+1)*w,
+				((r-14)%msgWords)*w, ((r-14)%msgWords+1)*w,
+				wt)
+		}
+		fmt.Fprintf(&sb, "  sha_round_%s(%s, %s, %s, %s, %s, %s, f, cin, cout);\n",
+			strings.TrimPrefix(fn, "sha_"),
+			role(r, 0), role(r, 1), role(r, 2), role(r, 3), role(r, 4), wt)
+		fmt.Fprintf(&sb, "  %s(%s, cin, cout);\n", kmod, role(r, 4))
+	}
+	sb.WriteString("}\n")
+
+	// Oracle: compress, phase-flip on target digest bit, uncompress
+	// approximated by a second compression (structural; real inversion
+	// reverses the rounds).
+	msgBits := msgWords * w
+	fmt.Fprintf(&sb, "module sha_oracle(qbit msg[%d], qbit h[%d], qbit f[%d], qbit cin, qbit cout, qbit anc) {\n", msgBits, 5*w, w)
+	sb.WriteString("  sha_compress(msg, h, f, cin, cout);\n")
+	sb.WriteString("  CNOT(h[0], anc);\n")
+	sb.WriteString("  sha_compress(msg, h, f, cin, cout);\n")
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module sha_diffusion(qbit msg[%d], qbit anc) {\n", n)
+	hWall(&sb, "msg", n)
+	xWall(&sb, "msg", n)
+	sb.WriteString("  sha_mcx(msg, anc);\n")
+	xWall(&sb, "msg", n)
+	hWall(&sb, "msg", n)
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit msg[%d];\n  qbit h[%d];\n  qbit f[%d];\n  qbit cin;\n  qbit cout;\n  qbit anc;\n",
+		msgBits, 5*w, w)
+	sb.WriteString("  X(anc);\n  H(anc);\n")
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    H(msg[i]);\n  }\n", n)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n", iterations)
+	fmt.Fprintf(&sb, "    sha_oracle(msg, h, f, cin, cout, anc);\n    sha_diffusion(msg[0:%d], anc);\n  }\n", n)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(msg[i]);\n  }\n", n)
+	sb.WriteString("}\n")
+
+	src := ctqg.MultiCX("sha_mcx", n) + sb.String()
+	return Benchmark{
+		Name:   "SHA-1",
+		Params: fmt.Sprintf("n=%d", n),
+		Source: src,
+		Pipeline: core.PipelineOptions{
+			FTh: 3_000_000, // paper §3.1.1: SHA-1 uses FTh = 3M
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// aqftCutoff truncates controlled rotations with angle below π/2^24 in
+// the QFTs (Beauregard's approximate QFT); beyond this depth the
+// rotations fall under any practical decomposition accuracy.
+const aqftCutoff = 24
+
+// phaseGrid quantizes phase-addition rotation angles to 2π·m/4096. The
+// schedulers only see per-angle blackboxes, so the grid bounds the
+// number of distinct rotation modules at paper scale without changing
+// the schedule structure (see DESIGN.md substitutions).
+const phaseGrid = 4096
+
+// Shors generates Shor's factoring algorithm (§3.3) for an n-bit
+// modulus in the Beauregard/Draper style the ScaffCC benchmark uses:
+// modular exponentiation by constant phase-addition in Fourier space.
+// A 2n-bit exponent register controls per-bit constant additions into an
+// n-qubit accumulator held in the Fourier basis, where each addition is
+// a layer of n controlled rotations with distinct angles on distinct
+// qubits — theoretically data-parallel, but once decomposed each angle
+// becomes its own serial Clifford+T blackbox, so exploiting the
+// parallelism demands one SIMD region per rotation. This is exactly the
+// structure behind the paper's Table 2 and Shor's k-sensitivity (§5.4,
+// Fig. 9).
+func Shors(n int) Benchmark { return ShorsSized(n, 2*n) }
+
+// ShorsSized exposes the exponent width for scaled-down runs.
+func ShorsSized(n, expBits int) Benchmark {
+	var sb strings.Builder
+
+	// QFT over the accumulator: Hadamards and controlled rotations
+	// π/2^d, chained (serial within the register).
+	emitQFT := func(name string, reg string, width int, inverse bool) {
+		fmt.Fprintf(&sb, "module %s(qbit %s[%d]) {\n", name, reg, width)
+		sign := 1.0
+		if inverse {
+			sign = -1
+		}
+		if !inverse {
+			for j := width - 1; j >= 0; j-- {
+				fmt.Fprintf(&sb, "  H(%s[%d]);\n", reg, j)
+				for k := j - 1; k >= 0 && j-k <= aqftCutoff; k-- {
+					angle := sign * math.Pi * math.Pow(2, -float64(j-k))
+					fmt.Fprintf(&sb, "  CRz(%s[%d], %s[%d], %.15g);\n", reg, k, reg, j, angle)
+				}
+			}
+		} else {
+			for j := 0; j < width; j++ {
+				for k := j - aqftCutoff; k < j; k++ {
+					if k < 0 {
+						continue
+					}
+					angle := sign * math.Pi * math.Pow(2, -float64(j-k))
+					fmt.Fprintf(&sb, "  CRz(%s[%d], %s[%d], %.15g);\n", reg, k, reg, j, angle)
+				}
+				fmt.Fprintf(&sb, "  H(%s[%d]);\n", reg, j)
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	emitQFT("shor_qft_acc", "acc", n, false)
+	emitQFT("shor_iqft_acc", "acc", n, true)
+	emitQFT("shor_iqft_exp", "e", expBits, true)
+
+	// Controlled constant phase addition: acc (in Fourier space) gains
+	// the classical constant c_j = a^(2^j) mod N under control of one
+	// exponent qubit. The control fans out over a CNOT tree onto n-1
+	// ancillae (a basis-state copy, not cloning) so the n rotations act
+	// on disjoint (control, target) pairs: a genuinely data-parallel
+	// rotation layer, serialized only by decomposition — Table 2's
+	// scenario and the source of Fig. 9's k-sensitivity.
+	// At paper scale, emitting one constant-adder module per exponent
+	// bit makes the source gigantic; 64 distinct constants reused
+	// cyclically preserve the structure (distinct rotation angles per
+	// layer, one blackbox per angle) at tractable compile times.
+	distinct := expBits
+	if distinct > 64 {
+		distinct = 64
+	}
+	cj := uint64(7) // running a^(2^j) mod N stand-in pattern
+	modMask := uint64(1)<<uint(n) - 1
+	for j := 0; j < distinct; j++ {
+		fmt.Fprintf(&sb, "module shor_cphase%d(qbit ctl, qbit acc[%d]) {\n", j, n)
+		if n > 1 {
+			fmt.Fprintf(&sb, "  qbit fan[%d];\n", n-1)
+		}
+		// Doubling fan-out: sources are ctl and already-written copies.
+		fanSrc := func(i int) string {
+			if i == 0 {
+				return "ctl"
+			}
+			return fmt.Sprintf("fan[%d]", i-1)
+		}
+		emitFan := func() {
+			written := 1
+			for written < n {
+				limit := written
+				for s := 0; s < limit && written < n; s++ {
+					fmt.Fprintf(&sb, "  CNOT(%s, fan[%d]);\n", fanSrc(s), written-1)
+					written++
+				}
+			}
+		}
+		emitFan()
+		for i := 0; i < n; i++ {
+			scale := math.Pow(2, -float64(i+1))
+			var mask uint64 = math.MaxUint64
+			if i+1 < 64 {
+				mask = uint64(1)<<uint(i+1) - 1
+			}
+			frac := float64(cj&mask) * scale
+			m := int(math.Round(frac * phaseGrid))
+			if m <= 0 {
+				m = 1
+			}
+			angle := 2 * math.Pi * float64(m) / phaseGrid
+			fmt.Fprintf(&sb, "  CRz(%s, acc[%d], %.15g);\n", fanSrc(i), i, angle)
+		}
+		emitFan() // un-fan (CNOT tree is self-inverse in this order per level pair)
+		sb.WriteString("}\n")
+		cj = (cj * cj) & modMask // square mod 2^n as the a^(2^j) pattern
+		if cj == 0 {
+			cj = 5
+		}
+	}
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit e[%d];\n  qbit acc[%d];\n", expBits, n)
+	hWall(&sb, "e", expBits)
+	sb.WriteString("  X(acc[0]);\n") // acc = 1
+	sb.WriteString("  shor_qft_acc(acc);\n")
+	for j := 0; j < expBits; j++ {
+		fmt.Fprintf(&sb, "  shor_cphase%d(e[%d], acc);\n", j%distinct, j)
+	}
+	sb.WriteString("  shor_iqft_acc(acc);\n")
+	sb.WriteString("  shor_iqft_exp(e);\n")
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(e[i]);\n  }\n", expBits)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "Shors",
+		Params: fmt.Sprintf("n=%d", n),
+		Source: sb.String(),
+	}
+}

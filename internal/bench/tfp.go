@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+)
+
+// TFP generates the Triangle Finding Problem (§3.3, Magniez et al.):
+// locate a triangle in a dense undirected graph of n nodes by amplitude
+// amplification over vertex-triple registers, with an oracle that tests
+// the three adjacency bits of the candidate triple. The iteration count
+// models the nested quantum-walk repetitions of the O(n^1.3) algorithm,
+// scaled to the paper's reported gate range.
+func TFP(n int) Benchmark { return TFPSized(n, int64(1)<<uint(4*bitsFor(n)+2)) }
+
+// TFPSized exposes the iteration count for scaled-down runs.
+func TFPSized(n int, iterations int64) Benchmark {
+	vb := bitsFor(n) // bits per vertex index
+	var sb strings.Builder
+
+	// Adjacency test: edge (u,v) present iff the XOR-parity of the two
+	// vertex registers matches the dense-graph pattern; computed into an
+	// edge flag via Toffoli ladders (structural stand-in for an
+	// adjacency-matrix lookup).
+	fmt.Fprintf(&sb, "module edge_test(qbit u[%d], qbit v[%d], qbit flag) {\n", vb, vb)
+	for i := 0; i < vb; i++ {
+		fmt.Fprintf(&sb, "  CNOT(u[%d], v[%d]);\n", i, i)
+	}
+	for i := 0; i < vb; i++ {
+		fmt.Fprintf(&sb, "  X(v[%d]);\n", i)
+	}
+	if vb >= 2 {
+		sb.WriteString("  mcxv(v, flag);\n")
+	} else {
+		sb.WriteString("  CNOT(v[0], flag);\n")
+	}
+	for i := 0; i < vb; i++ {
+		fmt.Fprintf(&sb, "  X(v[%d]);\n", i)
+	}
+	for i := 0; i < vb; i++ {
+		fmt.Fprintf(&sb, "  CNOT(u[%d], v[%d]);\n", i, i)
+	}
+	sb.WriteString("}\n")
+
+	// Triangle oracle: all three edges present -> phase flip via the
+	// kickback ancilla.
+	fmt.Fprintf(&sb, "module tri_oracle(qbit a[%d], qbit b[%d], qbit c[%d], qbit e[3], qbit anc) {\n", vb, vb, vb)
+	sb.WriteString("  edge_test(a, b, e[0]);\n")
+	sb.WriteString("  edge_test(b, c, e[1]);\n")
+	sb.WriteString("  edge_test(a, c, e[2]);\n")
+	sb.WriteString("  mcx3(e, anc);\n")
+	sb.WriteString("  edge_test(a, c, e[2]);\n")
+	sb.WriteString("  edge_test(b, c, e[1]);\n")
+	sb.WriteString("  edge_test(a, b, e[0]);\n")
+	sb.WriteString("}\n")
+
+	// Diffusion over the 3 vertex registers jointly.
+	fmt.Fprintf(&sb, "module tri_diffusion(qbit a[%d], qbit b[%d], qbit c[%d], qbit anc) {\n", vb, vb, vb)
+	for _, reg := range []string{"a", "b", "c"} {
+		hWall(&sb, reg, vb)
+		xWall(&sb, reg, vb)
+	}
+	// Multi-controlled Z across all vertex bits: copy into a joint
+	// ladder via mcx over each register chained on the ancilla.
+	sb.WriteString("  mcxa(a, anc);\n  mcxb(b, anc);\n  mcxc(c, anc);\n")
+	sb.WriteString("  mcxb(b, anc);\n  mcxa(a, anc);\n")
+	for _, reg := range []string{"a", "b", "c"} {
+		xWall(&sb, reg, vb)
+		hWall(&sb, reg, vb)
+	}
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit a[%d];\n  qbit b[%d];\n  qbit c[%d];\n  qbit e[3];\n  qbit anc;\n", vb, vb, vb)
+	sb.WriteString("  X(anc);\n  H(anc);\n")
+	for _, reg := range []string{"a", "b", "c"} {
+		hWall(&sb, reg, vb)
+	}
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n", iterations)
+	sb.WriteString("    tri_oracle(a, b, c, e, anc);\n    tri_diffusion(a, b, c, anc);\n  }\n")
+	for _, reg := range []string{"a", "b", "c"} {
+		fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(%s[i]);\n  }\n", vb, reg)
+	}
+	sb.WriteString("}\n")
+
+	src := ctqg.MultiCX("mcx3", 3)
+	if vb >= 2 {
+		src += ctqg.MultiCX("mcxv", vb)
+		src += ctqg.MultiCX("mcxa", vb) + ctqg.MultiCX("mcxb", vb) + ctqg.MultiCX("mcxc", vb)
+	} else {
+		src += "module mcxa(qbit c[1], qbit t) {\n  CNOT(c[0], t);\n}\n"
+		src += "module mcxb(qbit c[1], qbit t) {\n  CNOT(c[0], t);\n}\n"
+		src += "module mcxc(qbit c[1], qbit t) {\n  CNOT(c[0], t);\n}\n"
+	}
+	return Benchmark{
+		Name:   "TFP",
+		Params: fmt.Sprintf("n=%d", n),
+		Source: src + sb.String(),
+	}
+}
+
+// bitsFor returns ceil(log2(n)) with a floor of 1.
+func bitsFor(n int) int {
+	b := 1
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}

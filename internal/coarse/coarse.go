@@ -1,0 +1,502 @@
+// Package coarse implements the paper's hierarchical coarse-grained
+// scheduler (Algorithm 3, §4.3).
+//
+// Leaf modules are scheduled by the fine-grained schedulers (rcp, lpfs)
+// and characterized as blackboxes with flexible rectangular dimensions:
+// for widths 1..k, the schedule length achieved at that width. The
+// coarse scheduler walks each non-leaf module in criticality order and
+// packs blackboxes onto the k SIMD regions: each op claims `width`
+// regions for `length` timesteps starting no earlier than its data
+// dependencies allow, and the width option is chosen per op to minimize
+// its finish time under current congestion — the role of Algorithm 3's
+// flexible-dimension combination search. Non-leaf modules are in turn
+// characterized as blackboxes for their callers, bottom-up over the
+// call graph.
+//
+// Compared to the paper's pseudocode, which grows rectangular parallel
+// groups and serializes on overflow, this implementation tracks
+// per-region availability directly; temporally staggered (pipelined)
+// chains therefore pack without inflating group width, which the
+// rectangular formulation over-counts. The flexible-width selection is
+// the same mechanism, applied per placement.
+package coarse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+)
+
+// Dims is a blackbox's flexible dimensions: Widths[i] and Lengths[i]
+// pair a region budget with the schedule length achieved at that width.
+type Dims struct {
+	Widths  []int
+	Lengths []int64
+}
+
+// Best returns the minimal length achievable within maxWidth regions and
+// the width that achieves it. ok is false when no option fits.
+func (d Dims) Best(maxWidth int) (width int, length int64, ok bool) {
+	length = math.MaxInt64
+	for i, w := range d.Widths {
+		if w <= maxWidth && d.Lengths[i] < length {
+			width, length, ok = w, d.Lengths[i], true
+		}
+	}
+	return
+}
+
+// MinWidth returns the narrowest option.
+func (d Dims) MinWidth() (width int, length int64, ok bool) {
+	if len(d.Widths) == 0 {
+		return 0, 0, false
+	}
+	return d.Widths[0], d.Lengths[0], true
+}
+
+// CostModel sets the coarse-level costs of primitive operations.
+type CostModel struct {
+	// GateCost is the cycles charged per coarse-level gate: 1 in the
+	// parallelism-only model, 1 + 4 movement when accounting
+	// communication (§4.3: "an operation execution cost of 1 and a
+	// movement cost of 4").
+	GateCost int64
+	// CallOverhead is the fixed flush cost added to each module
+	// invocation: 0 in the parallelism-only model, one teleportation
+	// (4 cycles) when accounting communication (§3.2).
+	CallOverhead int64
+}
+
+// ZeroComm is the communication-free cost model (Fig. 6).
+var ZeroComm = CostModel{GateCost: 1, CallOverhead: 0}
+
+// WithComm charges naive movement on stray coarse gates and one teleport
+// per call (Figs. 7–9).
+var WithComm = CostModel{GateCost: 5, CallOverhead: 4}
+
+// Options configures a coarse scheduling run.
+type Options struct {
+	K    int
+	Cost CostModel
+	Dims func(callee string) (Dims, error)
+}
+
+// Placement records where one coarse op landed.
+type Placement struct {
+	OpIndex int
+	Start   int64 // first timestep, 0-based
+	Width   int
+	Length  int64
+}
+
+// Result is a coarse schedule of one non-leaf module.
+type Result struct {
+	Length     int64
+	Width      int
+	Placements []Placement
+}
+
+// Schedule runs the coarse scheduler over module m.
+func Schedule(m *ir.Module, opts Options) (*Result, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("coarse: k must be >= 1, got %d", opts.K)
+	}
+	if opts.Cost.GateCost <= 0 {
+		return nil, fmt.Errorf("coarse: gate cost must be positive")
+	}
+
+	n := len(m.Ops)
+	res := &Result{}
+	if n == 0 {
+		return res, nil
+	}
+
+	boxes, err := buildBoxes(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	preds := buildDeps(m)
+	order := priorityOrder(boxes, preds)
+
+	// Region tracks: freeAt[r] is when region r next becomes idle.
+	freeAt := make([]int64, opts.K)
+	finish := make([]int64, n)
+	res.Placements = make([]Placement, n)
+	readyAt := func(i int) int64 {
+		var te int64
+		for p := range preds[i] {
+			if finish[p] > te {
+				te = finish[p]
+			}
+		}
+		return te
+	}
+	place := func(i int, te int64, forceWidth int) error {
+		// Choose the width option minimizing finish time; ties prefer
+		// narrower boxes (leaving room for siblings).
+		bestFinish := int64(math.MaxInt64)
+		bestStart := int64(0)
+		bestW, bestL := 0, int64(0)
+		d := boxes[i]
+		sorted := append([]int64(nil), freeAt...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		for j, w := range d.Widths {
+			if w > opts.K || (forceWidth > 0 && w != forceWidth) {
+				continue
+			}
+			// Starting a w-wide box requires the w earliest-free regions.
+			start := sorted[w-1]
+			if te > start {
+				start = te
+			}
+			f := start + d.Lengths[j]
+			if f < bestFinish || (f == bestFinish && w < bestW) {
+				bestFinish, bestStart, bestW, bestL = f, start, w, d.Lengths[j]
+			}
+		}
+		if bestW == 0 {
+			return fmt.Errorf("coarse: op %d of %s has no dimension fitting k=%d", i, m.Name, opts.K)
+		}
+		// Claim the bestW regions that free earliest.
+		type rt struct {
+			r    int
+			free int64
+		}
+		regs := make([]rt, opts.K)
+		for r := range freeAt {
+			regs[r] = rt{r: r, free: freeAt[r]}
+		}
+		sort.Slice(regs, func(a, b int) bool { return regs[a].free < regs[b].free })
+		for claimed := 0; claimed < bestW; claimed++ {
+			freeAt[regs[claimed].r] = bestFinish
+		}
+		finish[i] = bestFinish
+		res.Placements[i] = Placement{OpIndex: i, Start: bestStart, Width: bestW, Length: bestL}
+		if bestFinish > res.Length {
+			res.Length = bestFinish
+		}
+		return nil
+	}
+
+	// Walk the priority order in waves: a maximal consecutive run of
+	// identically-dimensioned, mutually independent ops that become
+	// ready at the same time is a parallel group in Algorithm 3's
+	// sense, and its members' widths are chosen jointly rather than
+	// greedily. Membership requires no predecessor inside the wave
+	// (everything before the wave is already placed, because the order
+	// is topological, so earliest start times are then exact).
+	for idx := 0; idx < len(order); {
+		i := order[idx]
+		te := readyAt(i)
+		wave := []int{i}
+		inWave := map[int]bool{i: true}
+	grow:
+		for j := idx + 1; j < len(order); j++ {
+			cand := order[j]
+			if !sameDims(boxes[cand], boxes[i]) {
+				break
+			}
+			for p := range preds[cand] {
+				if inWave[p] {
+					break grow
+				}
+			}
+			if readyAt(cand) != te {
+				break
+			}
+			wave = append(wave, cand)
+			inWave[cand] = true
+		}
+		forced := 0
+		if len(wave) > 1 {
+			forced = waveWidth(boxes[i], len(wave), freeRegionsAt(freeAt, te))
+		}
+		for _, w := range wave {
+			if err := place(w, readyAt(w), forced); err != nil {
+				return nil, err
+			}
+		}
+		idx += len(wave)
+	}
+
+	res.Width = peakWidth(res.Placements, opts.K)
+	return res, nil
+}
+
+// sameDims reports whether two blackboxes offer identical options.
+func sameDims(a, b Dims) bool {
+	if len(a.Widths) != len(b.Widths) {
+		return false
+	}
+	for i := range a.Widths {
+		if a.Widths[i] != b.Widths[i] || a.Lengths[i] != b.Lengths[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// freeRegionsAt counts regions idle at time t.
+func freeRegionsAt(freeAt []int64, t int64) int {
+	n := 0
+	for _, f := range freeAt {
+		if f <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// waveWidth is Algorithm 3's combination search specialized to a wave of
+// count identical blackboxes on kFree idle regions: pick the width
+// minimizing the wave makespan ceil(count/floor(kFree/w))·L(w). Returns
+// 0 (no constraint) when no option fits.
+func waveWidth(d Dims, count, kFree int) int {
+	if kFree < 1 {
+		return 0
+	}
+	best := 0
+	bestSpan := int64(math.MaxInt64)
+	for j, w := range d.Widths {
+		lanes := kFree / w
+		if lanes < 1 {
+			continue
+		}
+		waves := int64((count + lanes - 1) / lanes)
+		span := satMul(waves, d.Lengths[j])
+		if span < bestSpan || (span == bestSpan && w < best) {
+			bestSpan = span
+			best = w
+		}
+	}
+	return best
+}
+
+// peakWidth sweeps placements to find the maximal number of
+// simultaneously claimed regions.
+func peakWidth(ps []Placement, k int) int {
+	type ev struct {
+		t int64
+		d int
+	}
+	events := make([]ev, 0, 2*len(ps))
+	for _, p := range ps {
+		if p.Length == 0 {
+			continue
+		}
+		events = append(events, ev{t: p.Start, d: p.Width}, ev{t: p.Start + p.Length, d: -p.Width})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].d < events[b].d // process releases first
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.d
+		if cur > peak {
+			peak = cur
+		}
+	}
+	if peak > k {
+		peak = k
+	}
+	return peak
+}
+
+// buildBoxes computes the flexible dimensions of each op in the module:
+// gates are 1-wide boxes of GateCost·count cycles; calls expand their
+// callee dims by the repetition count plus the per-invocation overhead.
+func buildBoxes(m *ir.Module, opts Options) ([]Dims, error) {
+	boxes := make([]Dims, len(m.Ops))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		switch op.Kind {
+		case ir.GateOp:
+			boxes[i] = Dims{Widths: []int{1}, Lengths: []int64{satMul(opts.Cost.GateCost, op.EffCount())}}
+		case ir.CallOp:
+			if opts.Dims == nil {
+				return nil, fmt.Errorf("coarse: module %s calls %s but no dims source provided", m.Name, op.Callee)
+			}
+			d, err := opts.Dims(op.Callee)
+			if err != nil {
+				return nil, err
+			}
+			if len(d.Widths) == 0 {
+				return nil, fmt.Errorf("coarse: empty dims for callee %s", op.Callee)
+			}
+			expanded := Dims{Widths: append([]int(nil), d.Widths...), Lengths: make([]int64, len(d.Lengths))}
+			for j, l := range d.Lengths {
+				expanded.Lengths[j] = satMul(l+opts.Cost.CallOverhead, op.EffCount())
+			}
+			boxes[i] = expanded
+		}
+	}
+	return boxes, nil
+}
+
+// buildDeps returns, per op, the set of ops it depends on (last toucher
+// of each shared slot).
+func buildDeps(m *ir.Module) []map[int]bool {
+	preds := make([]map[int]bool, len(m.Ops))
+	last := make([]int, m.TotalSlots())
+	for s := range last {
+		last[s] = -1
+	}
+	touch := func(i, slot int) {
+		if p := last[slot]; p >= 0 {
+			if preds[i] == nil {
+				preds[i] = map[int]bool{}
+			}
+			preds[i][p] = true
+		}
+	}
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		for _, s := range op.Args {
+			touch(i, s)
+		}
+		for _, r := range op.CallArgs {
+			for s := r.Start; s < r.Start+r.Len; s++ {
+				touch(i, s)
+			}
+		}
+		for _, s := range op.Args {
+			last[s] = i
+		}
+		for _, r := range op.CallArgs {
+			for s := r.Start; s < r.Start+r.Len; s++ {
+				last[s] = i
+			}
+		}
+	}
+	return preds
+}
+
+// priorityOrder sorts ops by criticality: descending height in the
+// coarse DAG weighted by minimal box length, repaired to a
+// dependency-respecting order that always picks the highest-priority
+// ready op.
+func priorityOrder(boxes []Dims, preds []map[int]bool) []int {
+	n := len(boxes)
+	succs := make([][]int, n)
+	for i, ps := range preds {
+		for p := range ps {
+			succs[p] = append(succs[p], i)
+		}
+	}
+	height := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		var h int64
+		for _, s := range succs[i] {
+			if height[s] > h {
+				h = height[s]
+			}
+		}
+		_, l, _ := boxes[i].Best(math.MaxInt32)
+		height[i] = h + l
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if height[ia] != height[ib] {
+			return height[ia] > height[ib]
+		}
+		return ia < ib
+	})
+	return topoByPriority(order, preds, succs)
+}
+
+// topoByPriority emits ops in dependency-respecting order, always
+// picking the highest-priority ready op next.
+func topoByPriority(priority []int, preds []map[int]bool, succs [][]int) []int {
+	n := len(priority)
+	rank := make([]int, n)
+	for r, op := range priority {
+		rank[op] = r
+	}
+	pend := make([]int, n)
+	for i, ps := range preds {
+		pend[i] = len(ps)
+	}
+	heap := &rankHeap{rank: rank}
+	for i := 0; i < n; i++ {
+		if pend[i] == 0 {
+			heap.push(i)
+		}
+	}
+	out := make([]int, 0, n)
+	for heap.len() > 0 {
+		i := heap.pop()
+		out = append(out, i)
+		for _, s := range succs[i] {
+			pend[s]--
+			if pend[s] == 0 {
+				heap.push(s)
+			}
+		}
+	}
+	return out
+}
+
+type rankHeap struct {
+	rank []int
+	data []int
+}
+
+func (h *rankHeap) len() int { return len(h.data) }
+
+func (h *rankHeap) less(a, b int) bool { return h.rank[h.data[a]] < h.rank[h.data[b]] }
+
+func (h *rankHeap) push(x int) {
+	h.data = append(h.data, x)
+	i := len(h.data) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *rankHeap) pop() int {
+	top := h.data[0]
+	last := len(h.data) - 1
+	h.data[0] = h.data[last]
+	h.data = h.data[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.data) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.data) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.data[i], h.data[smallest] = h.data[smallest], h.data[i]
+		i = smallest
+	}
+	return top
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}

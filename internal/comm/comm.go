@@ -1,0 +1,377 @@
+// Package comm implements the paper's data-movement analysis (§2.3, §2.4,
+// §2.5, §3.2, §4.4). Given a fine-grained schedule it derives the move
+// list (the paper's region 0), classifies each move as a 4-cycle global
+// quantum teleportation or a 1-cycle ballistic local-memory move, and
+// computes the communication-expanded runtime.
+//
+// Placement policy, following §2.4/§3.2/§4.4:
+//
+//   - a qubit whose next operation is in the same region stays in place
+//     while the region is idle (idle regions act as passive storage);
+//   - when its region becomes active with other work first, the qubit is
+//     evicted — to the region's local scratchpad if its next operation
+//     returns here and capacity allows (1 cycle each way), otherwise to
+//     global memory by teleportation (4 cycles each way);
+//   - a qubit whose next operation is in a different region likewise
+//     rests in place while its region stays idle and teleports directly
+//     to the consumer; if its region reactivates first it is flushed to
+//     global memory ("unless the source SIMD region is idle, we move such
+//     qubits to the global memory", §4.4).
+//
+// Timestep cost accounting models the paper's teleportation masking
+// (§2.3: EPR pre-distribution lets the compiler "schedule QT operations
+// in parallel with the computation steps"): a qubit's accumulated
+// movement cost since its previous operation stalls the consuming
+// timestep only where the idle window between the two operations is too
+// short to hide it. A step's charge is the largest residual stall among
+// its arriving operands; each timestep itself costs one cycle. First
+// uses are free (input data and EPR pairs are pre-distributed, §2.3).
+// The strict non-overlapping accounting of §4.4 — any global move at a
+// boundary charges the full four cycles, else any local move charges one
+// — is available via Options.NoOverlap for ablation.
+package comm
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// MoveKind classifies a qubit movement.
+type MoveKind uint8
+
+const (
+	// GlobalMove is a quantum teleportation to or from global memory (or
+	// between regions), costing TeleportCycles and one EPR pair.
+	GlobalMove MoveKind = iota
+	// LocalMove is a ballistic move between a region and its scratchpad.
+	LocalMove
+)
+
+// TeleportCycles is the latency of one quantum teleportation (Fig. 2:
+// CNOT, H, two measurements and classically controlled corrections,
+// pipelined as 4 logical timesteps).
+const TeleportCycles = 4
+
+// LocalCycles is the latency of a ballistic local-memory move (§2.5).
+const LocalCycles = 1
+
+// NaiveFactor is the runtime multiplier of the naive movement model,
+// where operands teleport from global memory every timestep (§4).
+const NaiveFactor = 1 + TeleportCycles
+
+// Loc describes where a qubit resides.
+type Loc struct {
+	Kind   LocKind
+	Region int32 // meaningful for InRegion and InLocal
+}
+
+// LocKind enumerates residence kinds.
+type LocKind uint8
+
+const (
+	// InGlobal is the global quantum memory.
+	InGlobal LocKind = iota
+	// InRegion is resident inside a SIMD operating region.
+	InRegion
+	// InLocal is parked in a region's scratchpad memory.
+	InLocal
+)
+
+// String renders the location for diagnostics.
+func (l Loc) String() string {
+	switch l.Kind {
+	case InGlobal:
+		return "global"
+	case InRegion:
+		return fmt.Sprintf("region%d", l.Region)
+	case InLocal:
+		return fmt.Sprintf("local%d", l.Region)
+	}
+	return "invalid"
+}
+
+// Move records one qubit movement charged at a step boundary.
+type Move struct {
+	Slot int
+	Kind MoveKind
+	From Loc
+	To   Loc
+}
+
+// Options configures the analysis.
+type Options struct {
+	// LocalCapacity is the scratchpad size per SIMD region, in qubits.
+	// 0 disables local memory; negative means unlimited.
+	LocalCapacity int
+	// NoOverlap disables teleportation masking: every boundary with a
+	// global move charges TeleportCycles and every boundary with only
+	// local moves charges LocalCycles, regardless of slack (§4.4's
+	// conservative accounting, used by ablation benches).
+	NoOverlap bool
+	// EPRBandwidth caps simultaneous teleports per step boundary (the
+	// paper's EPR distribution channels, §2.3): a boundary with more
+	// global moves serializes them in waves, each extra wave costing
+	// TeleportCycles. 0 means unlimited bandwidth (the paper's default
+	// model).
+	EPRBandwidth int
+}
+
+// Result summarizes the communication analysis of one schedule.
+type Result struct {
+	// Boundaries[b] holds the moves charged at the boundary entering
+	// step b.
+	Boundaries [][]Move
+	// Overhead[b] is the cycle cost at boundary b: TeleportCycles if any
+	// global move, else LocalCycles if any local move, else 0.
+	Overhead []int
+	// Cycles is the communication-expanded runtime:
+	// len(Steps) + sum(Overhead).
+	Cycles int64
+	// GlobalMoves and LocalMoves count individual qubit movements.
+	GlobalMoves int64
+	LocalMoves  int64
+	// EPRPairs consumed (one per teleport).
+	EPRPairs int64
+	// MaxLocalOccupancy is the peak number of qubits resident in any one
+	// region's scratchpad.
+	MaxLocalOccupancy int
+	// PeakEPRBandwidth is the largest number of teleports at any one
+	// step boundary — the EPR distribution rate the machine must
+	// sustain (§2.3).
+	PeakEPRBandwidth int
+}
+
+type use struct {
+	step   int32
+	region int32
+}
+
+// Analyze derives moves and communication cost for a fine-grained
+// schedule.
+func Analyze(s *schedule.Schedule, opts Options) (*Result, error) {
+	nSteps := len(s.Steps)
+	res := &Result{
+		Boundaries: make([][]Move, nSteps),
+		Overhead:   make([]int, nSteps),
+	}
+	if nSteps == 0 {
+		return res, nil
+	}
+
+	uses, err := useLists(s)
+	if err != nil {
+		return nil, err
+	}
+	nextActive := activityIndex(s)
+
+	loc := map[int]Loc{}    // zero value = global memory
+	cursor := map[int]int{} // per-qubit next-use index
+	localOcc := make([]int, s.K)
+
+	type eviction struct {
+		slot int
+		dest Loc
+		kind MoveKind
+	}
+	evictAt := make(map[int][]eviction)
+	leaveAt := make(map[int][]int32) // scratchpad departures: region ids
+
+	// pending accumulates each qubit's in-flight movement cost since its
+	// previous operation; lastUse records that operation's timestep.
+	pending := map[int]int{}
+	lastUse := map[int]int{}
+
+	addMove := func(b int, m Move) {
+		if b >= nSteps {
+			return // trailing rest, never charged
+		}
+		res.Boundaries[b] = append(res.Boundaries[b], m)
+		cost := 0
+		switch m.Kind {
+		case GlobalMove:
+			res.GlobalMoves++
+			res.EPRPairs++
+			cost = TeleportCycles
+		case LocalMove:
+			res.LocalMoves++
+			cost = LocalCycles
+		}
+		pending[m.Slot] += cost
+		if opts.NoOverlap && res.Overhead[b] < cost {
+			res.Overhead[b] = cost
+		}
+	}
+
+	for t := 0; t < nSteps; t++ {
+		// Scratchpad departures free capacity first.
+		for _, r := range leaveAt[t] {
+			localOcc[r]--
+		}
+		// Planned evictions at this boundary.
+		for _, ev := range evictAt[t] {
+			addMove(t, Move{Slot: ev.slot, Kind: ev.kind, From: loc[ev.slot], To: ev.dest})
+			loc[ev.slot] = ev.dest
+		}
+		// In-moves: operands of step t reach their regions.
+		for r := range s.Steps[t].Regions {
+			for _, op := range s.Steps[t].Regions[r] {
+				for _, slot := range s.M.Ops[op].Args {
+					l := loc[slot]
+					dst := Loc{Kind: InRegion, Region: int32(r)}
+					switch {
+					case l.Kind == InRegion && l.Region == int32(r):
+						// Already in place.
+					case l.Kind == InLocal && l.Region == int32(r):
+						addMove(t, Move{Slot: slot, Kind: LocalMove, From: l, To: dst})
+					default:
+						addMove(t, Move{Slot: slot, Kind: GlobalMove, From: l, To: dst})
+					}
+					loc[slot] = dst
+					// Teleportation masking: the journey since the
+					// previous use stalls this step only beyond the idle
+					// window. First uses ride the pre-distribution.
+					if !opts.NoOverlap {
+						if prev, used := lastUse[slot]; used {
+							window := t - prev - 1
+							if stall := pending[slot] - window; stall > res.Overhead[t] {
+								res.Overhead[t] = stall
+							}
+						}
+					}
+					pending[slot] = 0
+					lastUse[slot] = t
+				}
+			}
+		}
+		// Out-decisions for step t's operands.
+		for r := range s.Steps[t].Regions {
+			for _, op := range s.Steps[t].Regions[r] {
+				for _, slot := range s.M.Ops[op].Args {
+					cursor[slot]++
+					us := uses[slot]
+					i := cursor[slot]
+					if i >= len(us) {
+						// Final use: the region reclaims the qubit as
+						// ancilla/EPR stock (§4.4); no move charged.
+						loc[slot] = Loc{Kind: InGlobal}
+						continue
+					}
+					next := us[i]
+					v := int(next.step)
+					// First step strictly after t at which region r is
+					// active again (possibly v itself).
+					a := nSteps
+					if t+1 < nSteps {
+						a = int(nextActive[r][t+1])
+					}
+					if next.region == int32(r) {
+						if a >= v {
+							continue // rests in place until its next op
+						}
+						// Evicted before reuse: prefer the scratchpad.
+						if opts.LocalCapacity != 0 &&
+							(opts.LocalCapacity < 0 || localOcc[r] < opts.LocalCapacity) {
+							evictAt[a] = append(evictAt[a], eviction{
+								slot: slot,
+								dest: Loc{Kind: InLocal, Region: int32(r)},
+								kind: LocalMove,
+							})
+							localOcc[r]++
+							if localOcc[r] > res.MaxLocalOccupancy {
+								res.MaxLocalOccupancy = localOcc[r]
+							}
+							leaveAt[v] = append(leaveAt[v], int32(r))
+							continue
+						}
+						evictAt[a] = append(evictAt[a], eviction{
+							slot: slot,
+							dest: Loc{Kind: InGlobal},
+							kind: GlobalMove,
+						})
+						continue
+					}
+					// Next use in another region: rest here while idle,
+					// teleporting straight to the consumer; flush to
+					// global memory if this region reactivates first.
+					if a < v {
+						evictAt[a] = append(evictAt[a], eviction{
+							slot: slot,
+							dest: Loc{Kind: InGlobal},
+							kind: GlobalMove,
+						})
+					}
+					// Otherwise stays; the in-move at v charges the
+					// region-to-region teleport.
+				}
+			}
+		}
+	}
+
+	// EPR bandwidth: record the peak teleport burst, and under a finite
+	// channel capacity serialize overflowing boundaries into waves.
+	for b := range res.Boundaries {
+		g := 0
+		for _, mv := range res.Boundaries[b] {
+			if mv.Kind == GlobalMove {
+				g++
+			}
+		}
+		if g > res.PeakEPRBandwidth {
+			res.PeakEPRBandwidth = g
+		}
+		if opts.EPRBandwidth > 0 && g > opts.EPRBandwidth {
+			waves := (g + opts.EPRBandwidth - 1) / opts.EPRBandwidth
+			res.Overhead[b] += (waves - 1) * TeleportCycles
+		}
+	}
+
+	res.Cycles = int64(nSteps)
+	for _, o := range res.Overhead {
+		res.Cycles += int64(o)
+	}
+	return res, nil
+}
+
+// useLists builds per-qubit (step, region) touch lists in step order.
+func useLists(s *schedule.Schedule) (map[int][]use, error) {
+	uses := make(map[int][]use)
+	for t := range s.Steps {
+		for r, ops := range s.Steps[t].Regions {
+			for _, op := range ops {
+				for _, slot := range s.M.Ops[op].Args {
+					us := uses[slot]
+					if len(us) > 0 && us[len(us)-1].step == int32(t) {
+						return nil, fmt.Errorf("comm: qubit %d used twice in step %d", slot, t)
+					}
+					uses[slot] = append(us, use{step: int32(t), region: int32(r)})
+				}
+			}
+		}
+	}
+	return uses, nil
+}
+
+// activityIndex returns, per region, the earliest active step >= t for
+// every t (nSteps when none).
+func activityIndex(s *schedule.Schedule) [][]int32 {
+	nSteps := len(s.Steps)
+	idx := make([][]int32, s.K)
+	for r := 0; r < s.K; r++ {
+		idx[r] = make([]int32, nSteps+1)
+		idx[r][nSteps] = int32(nSteps)
+		for t := nSteps - 1; t >= 0; t-- {
+			active := r < len(s.Steps[t].Regions) && len(s.Steps[t].Regions[r]) > 0
+			if active {
+				idx[r][t] = int32(t)
+			} else {
+				idx[r][t] = idx[r][t+1]
+			}
+		}
+	}
+	return idx
+}
+
+// NaiveCycles is the runtime of the paper's baseline: sequential
+// execution with operands teleported every timestep (5x the gate count).
+func NaiveCycles(gates int64) int64 { return NaiveFactor * gates }

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scaffold-go/multisimd/internal/coarse"
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/resource"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// Scheduler selects the fine-grained scheduling algorithm.
+type Scheduler int
+
+const (
+	// RCP is the Ready Critical Path scheduler (Algorithm 1).
+	RCP Scheduler = iota
+	// LPFS is Longest Path First Scheduling (Algorithm 2), run with
+	// l = 1, SIMD and Refill as in the paper.
+	LPFS
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case RCP:
+		return "rcp"
+	case LPFS:
+		return "lpfs"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// EvalOptions configures a hierarchical evaluation run.
+type EvalOptions struct {
+	Scheduler Scheduler
+	// K is the number of SIMD regions; D the per-region data parallelism
+	// (0 = ∞, the paper's setting).
+	K int
+	D int
+	// LocalCapacity is the per-region scratchpad size: 0 none, negative
+	// unlimited (Fig. 8's "Inf").
+	LocalCapacity int
+	// NoOverlap selects the strict (unmasked) §4.4 movement accounting.
+	NoOverlap bool
+	// EPRBandwidth caps teleports per boundary (0 = unlimited, §2.3).
+	EPRBandwidth int
+	// MaterializeLimit bounds leaf materialization (0 = 4M ops).
+	MaterializeLimit int64
+	// LPFSOpts / RCPOpts override algorithm knobs for ablations; K and D
+	// inside them are ignored (taken from this struct).
+	LPFSOpts lpfs.Options
+	RCPOpts  rcp.Options
+}
+
+func (o EvalOptions) materializeLimit() int64 {
+	if o.MaterializeLimit == 0 {
+		return 4 << 20
+	}
+	return o.MaterializeLimit
+}
+
+// Metrics is the paper's per-benchmark measurement set.
+type Metrics struct {
+	// Program shape.
+	TotalGates int64 // fully expanded gate count (sequential timesteps)
+	MinQubits  int64 // Table 1's Q
+	Modules    int
+	Leaves     int
+
+	// Parallelism-only (Fig. 6).
+	CriticalPath  int64 // hierarchical critical-path estimate
+	ZeroCommSteps int64 // scheduled length, zero-cost communication
+
+	// Communication-aware (Figs. 7–9).
+	CommCycles  int64 // schedule length including movement overhead
+	GlobalMoves int64 // estimated teleport count (≈ EPR pairs)
+	LocalMoves  int64
+
+	// Baselines.
+	SeqCycles   int64 // sequential execution: one gate per timestep
+	NaiveCycles int64 // sequential + naive movement (5x)
+}
+
+// SpeedupVsSeq is the Fig. 6 y-axis: sequential gates over scheduled
+// steps with free communication.
+func (m *Metrics) SpeedupVsSeq() float64 {
+	if m.ZeroCommSteps == 0 {
+		return 0
+	}
+	return float64(m.SeqCycles) / float64(m.ZeroCommSteps)
+}
+
+// CPSpeedup is the theoretical parallelism bound (Fig. 6 "cp" bars).
+func (m *Metrics) CPSpeedup() float64 {
+	if m.CriticalPath == 0 {
+		return 0
+	}
+	return float64(m.SeqCycles) / float64(m.CriticalPath)
+}
+
+// SpeedupVsNaive is the Figs. 7–9 y-axis: naive-movement sequential
+// runtime over the communication-aware scheduled runtime.
+func (m *Metrics) SpeedupVsNaive() float64 {
+	if m.CommCycles == 0 {
+		return 0
+	}
+	return float64(m.NaiveCycles) / float64(m.CommCycles)
+}
+
+// moduleEval caches one module's blackbox characterizations.
+type moduleEval struct {
+	zero     coarse.Dims // schedule length per width, free communication
+	withComm coarse.Dims // cycles per width, movement included
+	cp       int64       // critical-path estimate
+	globals  int64       // teleports per invocation (at full width)
+	locals   int64
+}
+
+// Evaluate compiles nothing: it takes a built program (post decompose and
+// flatten) and evaluates it hierarchically on a Multi-SIMD(k,d) machine,
+// reproducing the paper's measurement flow: fine-grained schedules and
+// flexible blackbox dims for leaves, coarse-grained composition above.
+func Evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1")
+	}
+	est, err := resource.New(p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metrics{}
+	if m.TotalGates, err = est.TotalGates(); err != nil {
+		return nil, err
+	}
+	if m.MinQubits, err = est.MinQubits(); err != nil {
+		return nil, err
+	}
+	m.SeqCycles = m.TotalGates
+	m.NaiveCycles = comm.NaiveCycles(m.TotalGates)
+
+	widths := widthSet(opts.K)
+	cache := map[string]*moduleEval{}
+	order := est.Reachable()
+	for _, name := range order {
+		mod := p.Modules[name]
+		m.Modules++
+		var ev *moduleEval
+		if mod.IsLeaf() {
+			m.Leaves++
+			ev, err = evalLeaf(mod, widths, opts)
+		} else {
+			ev, err = evalNonLeaf(p, mod, widths, opts, cache)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: module %s: %w", name, err)
+		}
+		cache[name] = ev
+	}
+	entry := cache[p.Entry]
+	if entry == nil {
+		return nil, fmt.Errorf("core: entry module %q not evaluated", p.Entry)
+	}
+	_, zeroLen, ok := entry.zero.Best(opts.K)
+	if !ok {
+		return nil, fmt.Errorf("core: entry has no schedule within k=%d", opts.K)
+	}
+	_, commLen, ok := entry.withComm.Best(opts.K)
+	if !ok {
+		return nil, fmt.Errorf("core: entry has no comm schedule within k=%d", opts.K)
+	}
+	m.ZeroCommSteps = zeroLen
+	m.CommCycles = commLen
+	m.CriticalPath = entry.cp
+	m.GlobalMoves = entry.globals
+	m.LocalMoves = entry.locals
+	return m, nil
+}
+
+// widthSet picks the blackbox widths characterized per module: all
+// widths up to 8 regions, powers of two beyond (plus k itself).
+func widthSet(k int) []int {
+	var ws []int
+	for w := 1; w <= k && w <= 8; w++ {
+		ws = append(ws, w)
+	}
+	for w := 16; w < k; w *= 2 {
+		ws = append(ws, w)
+	}
+	if k > 8 {
+		ws = append(ws, k)
+	}
+	return ws
+}
+
+// evalLeaf characterizes a leaf by scheduling it at every width.
+func evalLeaf(mod *ir.Module, widths []int, opts EvalOptions) (*moduleEval, error) {
+	mat, err := mod.Materialize(opts.materializeLimit())
+	if err != nil {
+		return nil, err
+	}
+	g, err := dag.Build(mat)
+	if err != nil {
+		return nil, err
+	}
+	ev := &moduleEval{cp: int64(g.CriticalPath())}
+	for _, w := range widths {
+		s, err := runScheduler(mat, g, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := comm.Analyze(s, comm.Options{
+			LocalCapacity: opts.LocalCapacity,
+			NoOverlap:     opts.NoOverlap,
+			EPRBandwidth:  opts.EPRBandwidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ev.zero.Widths = append(ev.zero.Widths, w)
+		ev.zero.Lengths = append(ev.zero.Lengths, int64(s.Length()))
+		ev.withComm.Widths = append(ev.withComm.Widths, w)
+		ev.withComm.Lengths = append(ev.withComm.Lengths, res.Cycles)
+		if w == widths[len(widths)-1] {
+			ev.globals = res.GlobalMoves
+			ev.locals = res.LocalMoves
+		}
+	}
+	return ev, nil
+}
+
+func runScheduler(mat *ir.Module, g *dag.Graph, k int, opts EvalOptions) (*schedule.Schedule, error) {
+	switch opts.Scheduler {
+	case RCP:
+		o := opts.RCPOpts
+		o.K, o.D = k, opts.D
+		return rcp.Schedule(mat, g, o)
+	case LPFS:
+		o := opts.LPFSOpts
+		o.K, o.D = k, opts.D
+		return lpfs.Schedule(mat, g, o)
+	}
+	return nil, fmt.Errorf("core: unknown scheduler %v", opts.Scheduler)
+}
+
+// evalNonLeaf characterizes a non-leaf via coarse scheduling over its
+// callees' cached dims.
+func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, opts EvalOptions, cache map[string]*moduleEval) (*moduleEval, error) {
+	ev := &moduleEval{}
+	dimsZero := func(callee string) (coarse.Dims, error) {
+		c := cache[callee]
+		if c == nil {
+			return coarse.Dims{}, fmt.Errorf("core: callee %s not yet evaluated", callee)
+		}
+		return c.zero, nil
+	}
+	dimsComm := func(callee string) (coarse.Dims, error) {
+		c := cache[callee]
+		if c == nil {
+			return coarse.Dims{}, fmt.Errorf("core: callee %s not yet evaluated", callee)
+		}
+		return c.withComm, nil
+	}
+	for _, w := range widths {
+		rz, err := coarse.Schedule(mod, coarse.Options{K: w, Cost: coarse.ZeroComm, Dims: dimsZero})
+		if err != nil {
+			return nil, err
+		}
+		rc, err := coarse.Schedule(mod, coarse.Options{K: w, Cost: coarse.WithComm, Dims: dimsComm})
+		if err != nil {
+			return nil, err
+		}
+		ev.zero.Widths = append(ev.zero.Widths, w)
+		ev.zero.Lengths = append(ev.zero.Lengths, rz.Length)
+		ev.withComm.Widths = append(ev.withComm.Widths, w)
+		ev.withComm.Lengths = append(ev.withComm.Lengths, rc.Length)
+	}
+	// Critical path: longest dependency chain with callee CPs as weights.
+	ev.cp = coarseCriticalPath(mod, func(callee string) int64 {
+		if c := cache[callee]; c != nil {
+			return c.cp
+		}
+		return 1
+	})
+	// Movement estimate: callee moves scale by invocation counts; stray
+	// coarse-level gates teleport their operands (cost model WithComm).
+	for i := range mod.Ops {
+		op := &mod.Ops[i]
+		switch op.Kind {
+		case ir.GateOp:
+			ev.globals += op.EffCount()
+		case ir.CallOp:
+			if c := cache[op.Callee]; c != nil {
+				ev.globals = satAdd(ev.globals, satMul(c.globals, op.EffCount()))
+				ev.locals = satAdd(ev.locals, satMul(c.locals, op.EffCount()))
+			}
+		}
+	}
+	return ev, nil
+}
+
+// coarseCriticalPath computes the longest dependency chain of a module
+// where gates weigh their count and calls weigh count x callee CP.
+func coarseCriticalPath(mod *ir.Module, cpOf func(string) int64) int64 {
+	finish := make([]int64, len(mod.Ops))
+	last := make(map[int]int) // slot -> op index
+	var total int64
+	for i := range mod.Ops {
+		op := &mod.Ops[i]
+		var start int64
+		touch := func(slot int) {
+			if p, ok := last[slot]; ok && finish[p] > start {
+				start = finish[p]
+			}
+		}
+		for _, s := range op.Args {
+			touch(s)
+		}
+		for _, r := range op.CallArgs {
+			for s := r.Start; s < r.Start+r.Len; s++ {
+				touch(s)
+			}
+		}
+		var w int64
+		switch op.Kind {
+		case ir.GateOp:
+			w = op.EffCount()
+		case ir.CallOp:
+			w = satMul(cpOf(op.Callee), op.EffCount())
+		}
+		finish[i] = satAdd(start, w)
+		if finish[i] > total {
+			total = finish[i]
+		}
+		for _, s := range op.Args {
+			last[s] = i
+		}
+		for _, r := range op.CallArgs {
+			for s := r.Start; s < r.Start+r.Len; s++ {
+				last[s] = i
+			}
+		}
+	}
+	return total
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/flatten"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/resource"
+)
+
+// Workload names one benchmark instance handed to the experiment
+// drivers: its compiled program plus identity strings for the reports.
+type Workload struct {
+	Name   string
+	Params string
+	Prog   *ir.Program
+}
+
+// Fig5Row is one benchmark's module gate-count histogram (paper Fig. 5).
+type Fig5Row struct {
+	Name    string
+	Params  string
+	Percent []float64 // aligned with resource.Fig5Buckets
+	// FlattenedPct is the percentage of modules at or under the FTh used.
+	FlattenedPct float64
+	FTh          int64
+}
+
+// Fig5 computes the histogram of module gate counts for each workload.
+// The workloads should be compiled *without* the flattening pass (the
+// figure characterizes the initial modularity used to choose FTh).
+func Fig5(ws []Workload, fth int64) ([]Fig5Row, error) {
+	if fth == 0 {
+		fth = flatten.DefaultThreshold
+	}
+	rows := make([]Fig5Row, 0, len(ws))
+	for _, w := range ws {
+		est, err := resource.New(w.Prog)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", w.Name, err)
+		}
+		pct, err := est.Histogram()
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", w.Name, err)
+		}
+		fp, err := est.FlattenableFraction(fth)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", w.Name, err)
+		}
+		rows = append(rows, Fig5Row{Name: w.Name, Params: w.Params, Percent: pct, FlattenedPct: fp, FTh: fth})
+	}
+	return rows, nil
+}
+
+// Fig6Row is one benchmark's parallelism-only speedups (paper Fig. 6):
+// RCP and LPFS at k = 2 and 4 against the critical-path bound.
+type Fig6Row struct {
+	Name, Params string
+	RCP2, RCP4   float64
+	LPFS2, LPFS4 float64
+	CP           float64
+}
+
+// Fig6 runs both schedulers at k = 2 and 4 with zero-cost communication.
+func Fig6(ws []Workload) ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 0, len(ws))
+	for _, w := range ws {
+		row := Fig6Row{Name: w.Name, Params: w.Params}
+		for _, cfg := range []struct {
+			s Scheduler
+			k int
+			f *float64
+		}{
+			{RCP, 2, &row.RCP2}, {RCP, 4, &row.RCP4},
+			{LPFS, 2, &row.LPFS2}, {LPFS, 4, &row.LPFS4},
+		} {
+			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: cfg.s, K: cfg.k})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s %v k=%d: %w", w.Name, cfg.s, cfg.k, err)
+			}
+			*cfg.f = m.SpeedupVsSeq()
+			if cfg.k == 4 && cfg.s == LPFS {
+				row.CP = m.CPSpeedup()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7Row is one benchmark's communication-aware speedups over the naive
+// movement model (paper Fig. 7).
+type Fig7Row struct {
+	Name, Params string
+	RCP2, RCP4   float64
+	LPFS2, LPFS4 float64
+}
+
+// Fig7 runs both schedulers at k = 2 and 4 with movement accounted and
+// no local memories.
+func Fig7(ws []Workload) ([]Fig7Row, error) {
+	rows := make([]Fig7Row, 0, len(ws))
+	for _, w := range ws {
+		row := Fig7Row{Name: w.Name, Params: w.Params}
+		for _, cfg := range []struct {
+			s Scheduler
+			k int
+			f *float64
+		}{
+			{RCP, 2, &row.RCP2}, {RCP, 4, &row.RCP4},
+			{LPFS, 2, &row.LPFS2}, {LPFS, 4, &row.LPFS4},
+		} {
+			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: cfg.s, K: cfg.k})
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s %v k=%d: %w", w.Name, cfg.s, cfg.k, err)
+			}
+			*cfg.f = m.SpeedupVsNaive()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8Row is one benchmark's local-memory study on Multi-SIMD(4,∞)
+// (paper Fig. 8): speedups over the naive model with no local memory,
+// Q/4, Q/2, and unlimited scratchpads, for both schedulers.
+type Fig8Row struct {
+	Name, Params string
+	Q            int64
+	// Indexed: [scheduler][capacity class] with capacity classes
+	// None, Q/4, Q/2, Inf.
+	RCP  [4]float64
+	LPFS [4]float64
+}
+
+// Fig8CapacityLabels names the capacity classes in order.
+var Fig8CapacityLabels = [4]string{"No Local Memory", "Q/4 Local Memory", "Q/2 Local Memory", "Inf Local Memory"}
+
+// Fig8 runs the local-memory sweep at k = 4.
+func Fig8(ws []Workload) ([]Fig8Row, error) {
+	rows := make([]Fig8Row, 0, len(ws))
+	for _, w := range ws {
+		est, err := resource.New(w.Prog)
+		if err != nil {
+			return nil, err
+		}
+		q, err := est.MinQubits()
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Name: w.Name, Params: w.Params, Q: q}
+		caps := [4]int{0, int(q / 4), int(q / 2), -1}
+		for si, s := range []Scheduler{RCP, LPFS} {
+			for ci, c := range caps {
+				m, err := Evaluate(w.Prog, EvalOptions{Scheduler: s, K: 4, LocalCapacity: c})
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s %v cap=%d: %w", w.Name, s, c, err)
+				}
+				if si == 0 {
+					row.RCP[ci] = m.SpeedupVsNaive()
+				} else {
+					row.LPFS[ci] = m.SpeedupVsNaive()
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9Row is Shor's k-sensitivity (paper Fig. 9): speedup over the naive
+// model with local memory, for k in {8, 16, 32, 128}.
+type Fig9Row struct {
+	Scheduler Scheduler
+	K         int
+	Speedup   float64
+}
+
+// Fig9Ks are the swept region counts. The paper sweeps {8, 16, 32, 128}
+// on a 512-bit Shor's whose half-million rotation blackboxes saturate
+// hundreds of regions; the scaled-down workload's inverse QFT offers
+// proportionally less operation-level parallelism, so the sweep starts
+// lower to expose the same rising-then-saturating shape.
+var Fig9Ks = []int{2, 4, 8, 16, 32}
+
+// Fig9 sweeps k for one workload (Shor's) with unlimited local memory.
+func Fig9(w Workload) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, s := range []Scheduler{RCP, LPFS} {
+		for _, k := range Fig9Ks {
+			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: s, K: k, LocalCapacity: -1})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v k=%d: %w", s, k, err)
+			}
+			rows = append(rows, Fig9Row{Scheduler: s, K: k, Speedup: m.SpeedupVsNaive()})
+		}
+	}
+	return rows, nil
+}
+
+// Table1Row is one benchmark's minimum qubit count Q (paper Table 1).
+type Table1Row struct {
+	Name, Params string
+	Q            int64
+}
+
+// Table1 computes Q for each workload.
+func Table1(ws []Workload) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(ws))
+	for _, w := range ws {
+		est, err := resource.New(w.Prog)
+		if err != nil {
+			return nil, err
+		}
+		q, err := est.MinQubits()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{Name: w.Name, Params: w.Params, Q: q})
+	}
+	return rows, nil
+}
+
+// Table2Result demonstrates the paper's Table 2: n parallel rotations on
+// distinct qubits cannot share a SIMD region once decomposed, so their
+// schedule serializes unless k grows to accommodate them.
+type Table2Result struct {
+	Rotations int
+	// StepsAtK[k] is the zero-comm schedule length with k regions.
+	StepsAtK map[int]int64
+}
+
+// Table2 builds a program of n data-parallel Rz gates with distinct
+// angles, decomposes them, and schedules at increasing k.
+func Table2(n int, ks []int) (*Table2Result, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module main() {\n  qbit q[%d];\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  Rz(q[%d], %g);\n", i, 0.1+0.71*float64(i))
+	}
+	sb.WriteString("}\n")
+	prog, err := Build(sb.String(), PipelineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Rotations: n, StepsAtK: map[int]int64{}}
+	for _, k := range ks {
+		m, err := Evaluate(prog, EvalOptions{Scheduler: LPFS, K: k})
+		if err != nil {
+			return nil, err
+		}
+		res.StepsAtK[k] = m.ZeroCommSteps
+	}
+	return res, nil
+}
+
+// SortedKs returns the swept ks of a Table2Result in ascending order.
+func (t *Table2Result) SortedKs() []int {
+	ks := make([]int, 0, len(t.StepsAtK))
+	for k := range t.StepsAtK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// WriteTSV writes rows of tab-separated values with a header, a shared
+// helper for the qbench tool and EXPERIMENTS.md generation.
+func WriteTSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/machine"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/resource"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// TestBenchmarkLeavesExecuteOnMachine is the deep end-to-end check: for
+// every leaf module of every (scaled) paper benchmark, both schedulers'
+// outputs are validated against the dependency DAG and then replayed on
+// the Multi-SIMD machine executor, which independently re-derives every
+// move, stall and cycle from the communication annotations. Any
+// disagreement anywhere in the toolflow fails here.
+func TestBenchmarkLeavesExecuteOnMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("machine replay across all benchmark leaves is slow; run without -short")
+	}
+	for _, b := range bench.AllSmall() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opts := b.Pipeline
+			opts.FTh = 2000
+			prog, err := core.Build(b.Source, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := resource.New(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves := 0
+			for _, name := range est.Reachable() {
+				mod := prog.Modules[name]
+				if !mod.IsLeaf() {
+					continue
+				}
+				leaves++
+				mat, err := mod.Materialize(1 << 22)
+				if err != nil {
+					t.Fatalf("%s: materialize: %v", name, err)
+				}
+				g, err := dag.Build(mat)
+				if err != nil {
+					t.Fatalf("%s: dag: %v", name, err)
+				}
+				for _, cfg := range []struct {
+					sched string
+					k     int
+					cap   int
+				}{
+					{"rcp", 2, 0}, {"rcp", 4, -1},
+					{"lpfs", 2, 0}, {"lpfs", 4, -1}, {"lpfs", 4, 2},
+				} {
+					var s *schedule.Schedule
+					if cfg.sched == "rcp" {
+						s, err = rcp.Schedule(mat, g, rcp.Options{K: cfg.k})
+					} else {
+						s, err = lpfs.Schedule(mat, g, lpfs.Options{K: cfg.k})
+					}
+					if err != nil {
+						t.Fatalf("%s %s k=%d: %v", name, cfg.sched, cfg.k, err)
+					}
+					if err := s.Validate(g); err != nil {
+						t.Fatalf("%s %s k=%d: invalid schedule: %v", name, cfg.sched, cfg.k, err)
+					}
+					res, err := comm.Analyze(s, comm.Options{LocalCapacity: cfg.cap})
+					if err != nil {
+						t.Fatalf("%s %s k=%d: comm: %v", name, cfg.sched, cfg.k, err)
+					}
+					stats, err := machine.Execute(machine.Config{K: cfg.k, LocalCapacity: cfg.cap}, s, res)
+					if err != nil {
+						t.Fatalf("%s %s k=%d cap=%d: machine: %v", name, cfg.sched, cfg.k, cfg.cap, err)
+					}
+					if stats.GateOps != int64(len(mat.Ops)) {
+						t.Fatalf("%s: executed %d ops of %d", name, stats.GateOps, len(mat.Ops))
+					}
+				}
+			}
+			if leaves == 0 {
+				t.Error("benchmark has no leaves")
+			}
+			t.Logf("%s: %d leaves machine-verified under 5 configurations", b.Name, leaves)
+		})
+	}
+}

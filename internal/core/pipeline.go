@@ -1,0 +1,152 @@
+// Package core is the public face of the toolflow: it wires the front
+// end (parser, sema, lower), the mid-end passes (decompose, flatten) and
+// the back end (fine-grained RCP/LPFS scheduling, hierarchical coarse
+// scheduling, communication analysis) into the paper's complete
+// compile-and-evaluate flow, and exposes the experiment drivers behind
+// every table and figure (see experiments.go).
+package core
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/decompose"
+	"github.com/scaffold-go/multisimd/internal/flatten"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/lower"
+	"github.com/scaffold-go/multisimd/internal/parser"
+	"github.com/scaffold-go/multisimd/internal/reuse"
+	"github.com/scaffold-go/multisimd/internal/sema"
+)
+
+// PipelineOptions configures compilation from Scaffold-lite source to a
+// scheduled-ready IR program.
+type PipelineOptions struct {
+	// Entry is the entry module name; empty means "main".
+	Entry string
+	// UnrollLimit forwards to lower.Options.
+	UnrollLimit int64
+	// MaxUnroll forwards to lower.Options.
+	MaxUnroll int64
+
+	// SkipDecompose leaves wide gates (Toffoli, rotations) in place.
+	SkipDecompose bool
+	// Epsilon is the rotation decomposition accuracy (0 = 1e-10).
+	Epsilon float64
+	// InlineRotations expands rotations inline instead of as per-angle
+	// blackbox modules.
+	InlineRotations bool
+	// KeepToffoli skips Toffoli/Fredkin expansion during decomposition.
+	KeepToffoli bool
+
+	// SkipFlatten disables the FTh inlining pass.
+	SkipFlatten bool
+	// FTh is the flattening threshold in gates (0 = paper default 2M).
+	FTh int64
+
+	// AncillaReuse runs the ancilla-recycling pass over every fully
+	// materialized leaf after flattening, recovering the paper's
+	// maximal-ancilla-reuse footprint (Table 1's Q definition) on the
+	// flat form. Requires the clean-ancilla convention (see package
+	// reuse).
+	AncillaReuse bool
+}
+
+func (o PipelineOptions) entry() string {
+	if o.Entry == "" {
+		return "main"
+	}
+	return o.Entry
+}
+
+// Frontend parses, checks and lowers source into IR without running any
+// mid-end pass.
+func Frontend(src string, opts PipelineOptions) (*ir.Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := sema.Check(prog); err != nil {
+		return nil, err
+	}
+	return lower.Lower(prog, opts.entry(), lower.Options{
+		UnrollLimit: opts.UnrollLimit,
+		MaxUnroll:   opts.MaxUnroll,
+	})
+}
+
+// Build runs the full compilation pipeline: front end, gate
+// decomposition, and FTh flattening.
+func Build(src string, opts PipelineOptions) (*ir.Program, error) {
+	p, err := Frontend(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipDecompose {
+		if _, err := decompose.Program(p, decompose.Options{
+			Epsilon:         opts.Epsilon,
+			InlineRotations: opts.InlineRotations,
+			KeepToffoli:     opts.KeepToffoli,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if !opts.SkipFlatten {
+		if _, err := flatten.Program(p, flatten.Options{Threshold: opts.FTh}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.AncillaReuse {
+		if err := reuseLeaves(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// reuseLeaves applies ancilla recycling to each leaf whose body is fully
+// materialized (no Count multipliers); symbolic leaves are left alone.
+func reuseLeaves(p *ir.Program) error {
+	names, err := p.Topo()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		m := p.Modules[name]
+		if !m.IsLeaf() {
+			continue
+		}
+		materialized := true
+		for i := range m.Ops {
+			if m.Ops[i].EffCount() != 1 {
+				materialized = false
+				break
+			}
+		}
+		if !materialized {
+			continue
+		}
+		if _, err := reuse.Leaf(m); err != nil {
+			return fmt.Errorf("core: ancilla reuse on %s: %w", name, err)
+		}
+	}
+	return p.Validate()
+}
+
+// BuildSources concatenates several source fragments (module libraries
+// plus a main) and builds them as one program.
+func BuildSources(opts PipelineOptions, srcs ...string) (*ir.Program, error) {
+	var all string
+	for _, s := range srcs {
+		all += s + "\n"
+	}
+	return Build(all, opts)
+}
+
+// MustBuild is a test/example helper that panics on compile errors.
+func MustBuild(src string, opts PipelineOptions) *ir.Program {
+	p, err := Build(src, opts)
+	if err != nil {
+		panic(fmt.Sprintf("core.MustBuild: %v", err))
+	}
+	return p
+}

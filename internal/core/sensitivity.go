@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// SensDRow is one point of the d-sensitivity study (§5.4: "decreasing
+// [d] to below 32 qubits only causes marginal changes").
+type SensDRow struct {
+	Name    string
+	D       int // 0 means unlimited
+	Speedup float64
+}
+
+// SensD sweeps the per-region data parallelism d at fixed k, reporting
+// the communication-aware speedup over naive movement.
+func SensD(ws []Workload, sched Scheduler, k int, ds []int) ([]SensDRow, error) {
+	var rows []SensDRow
+	for _, w := range ws {
+		for _, d := range ds {
+			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: sched, K: k, D: d, LocalCapacity: -1})
+			if err != nil {
+				return nil, fmt.Errorf("sensd %s d=%d: %w", w.Name, d, err)
+			}
+			rows = append(rows, SensDRow{Name: w.Name, D: d, Speedup: m.SpeedupVsNaive()})
+		}
+	}
+	return rows, nil
+}
+
+// SensEPRRow is one point of the EPR-bandwidth study (§2.3: finite
+// distribution channels serialize teleport bursts).
+type SensEPRRow struct {
+	Name      string
+	Bandwidth int // teleports per boundary; 0 = unlimited
+	Speedup   float64
+	PeakNeed  int64 // teleports the schedule wants at its busiest boundary
+}
+
+// SensEPR sweeps the EPR distribution bandwidth at fixed k.
+func SensEPR(ws []Workload, sched Scheduler, k int, bws []int) ([]SensEPRRow, error) {
+	var rows []SensEPRRow
+	for _, w := range ws {
+		for _, bw := range bws {
+			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: sched, K: k, EPRBandwidth: bw})
+			if err != nil {
+				return nil, fmt.Errorf("sensepr %s bw=%d: %w", w.Name, bw, err)
+			}
+			rows = append(rows, SensEPRRow{Name: w.Name, Bandwidth: bw, Speedup: m.SpeedupVsNaive()})
+		}
+	}
+	return rows, nil
+}
+
+// AblationRow is one scheduler-variant measurement.
+type AblationRow struct {
+	Name    string // benchmark
+	Variant string
+	Speedup float64 // over naive movement, k = 4, unlimited local memory
+}
+
+// AblationLPFS compares LPFS option settings (§4.2: the paper runs
+// l = 1 with SIMD and Refill enabled).
+func AblationLPFS(ws []Workload, k int) ([]AblationRow, error) {
+	variants := []struct {
+		name string
+		opts EvalOptions
+	}{
+		{"simd+refill", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1}},
+		{"simd only", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
+			LPFSOpts: lpfsOpts(true, false)}},
+		{"refill only", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
+			LPFSOpts: lpfsOpts(false, true)}},
+		{"neither", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
+			LPFSOpts: lpfsOpts(false, false)}},
+		{"l=2", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
+			LPFSOpts: lpfsL(2)}},
+	}
+	var rows []AblationRow
+	for _, w := range ws {
+		for _, v := range variants {
+			m, err := Evaluate(w.Prog, v.opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation lpfs %s %s: %w", w.Name, v.name, err)
+			}
+			rows = append(rows, AblationRow{Name: w.Name, Variant: v.name, Speedup: m.SpeedupVsNaive()})
+		}
+	}
+	return rows, nil
+}
+
+// AblationRCP compares RCP weight settings (§4.1: w_op groups for data
+// parallelism, w_dist captures locality, w_slack defers slack ops).
+func AblationRCP(ws []Workload, k int) ([]AblationRow, error) {
+	variants := []struct {
+		name              string
+		wop, wdist, wslak float64
+	}{
+		{"all weights", 1, 1, 1},
+		{"no locality", 1, 0, 1},
+		{"no slack", 1, 1, 0},
+		{"prevalence only", 1, 0, 0},
+	}
+	var rows []AblationRow
+	for _, w := range ws {
+		for _, v := range variants {
+			m, err := Evaluate(w.Prog, EvalOptions{
+				Scheduler: RCP, K: k, LocalCapacity: -1,
+				RCPOpts: rcpWeights(v.wop, v.wdist, v.wslak),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation rcp %s %s: %w", w.Name, v.name, err)
+			}
+			rows = append(rows, AblationRow{Name: w.Name, Variant: v.name, Speedup: m.SpeedupVsNaive()})
+		}
+	}
+	return rows, nil
+}
+
+// AblationComm compares the teleport-masking movement model (§2.3)
+// against the strict per-boundary accounting (§4.4).
+func AblationComm(ws []Workload, sched Scheduler, k int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, w := range ws {
+		for _, v := range []struct {
+			name string
+			no   bool
+		}{{"masked (pipelined QT)", false}, {"strict (no overlap)", true}} {
+			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: sched, K: k, NoOverlap: v.no})
+			if err != nil {
+				return nil, fmt.Errorf("ablation comm %s %s: %w", w.Name, v.name, err)
+			}
+			rows = append(rows, AblationRow{Name: w.Name, Variant: v.name, Speedup: m.SpeedupVsNaive()})
+		}
+	}
+	return rows, nil
+}
+
+// FThRow is one point of the flattening-threshold study (§3.1.1).
+type FThRow struct {
+	Name    string
+	FTh     int64
+	Leaves  int
+	Modules int
+	Speedup float64
+	// AnalysisMS is the wall-clock cost of compiling and scheduling at
+	// this threshold — the other side of the paper's FTh trade-off
+	// ("when leaf modules are too large the scheduling time becomes
+	// unacceptably long").
+	AnalysisMS int64
+}
+
+// SweepFTh rebuilds each workload's source at several thresholds and
+// measures the resulting schedule quality — the paper's motivation for
+// picking FTh = 2M: too little flattening loses parallelism at module
+// boundaries (Fig. 4), too much blows up scheduling time.
+func SweepFTh(sources []SourceWorkload, sched Scheduler, k int, fths []int64) ([]FThRow, error) {
+	var rows []FThRow
+	for _, sw := range sources {
+		for _, fth := range fths {
+			opts := sw.Pipeline
+			opts.FTh = fth
+			start := time.Now()
+			prog, err := Build(sw.Source, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fth %s %d: %w", sw.Name, fth, err)
+			}
+			m, err := Evaluate(prog, EvalOptions{Scheduler: sched, K: k, LocalCapacity: -1})
+			if err != nil {
+				return nil, fmt.Errorf("fth %s %d: %w", sw.Name, fth, err)
+			}
+			rows = append(rows, FThRow{
+				Name: sw.Name, FTh: fth,
+				Leaves: m.Leaves, Modules: m.Modules,
+				Speedup:    m.SpeedupVsNaive(),
+				AnalysisMS: time.Since(start).Milliseconds(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SourceWorkload carries un-compiled source for rebuild sweeps.
+type SourceWorkload struct {
+	Name     string
+	Source   string
+	Pipeline PipelineOptions
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+)
+
+// lpfsOpts builds explicit LPFS option settings for ablations.
+func lpfsOpts(simd, refill bool) lpfs.Options {
+	return lpfs.Options{SIMD: simd, Refill: refill, NoOptions: !simd && !refill}
+}
+
+// lpfsL pins l longest-path regions with both options on.
+func lpfsL(l int) lpfs.Options {
+	return lpfs.Options{L: l, SIMD: true, Refill: true}
+}
+
+// rcpWeights builds explicit RCP weight settings for ablations.
+func rcpWeights(wop, wdist, wslack float64) rcp.Options {
+	return rcp.Options{WOp: wop, WDist: wdist, WSlack: wslack, ExplicitWeights: true}
+}

@@ -1,0 +1,90 @@
+package ctqg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Increment returns a module computing x += 1 (mod 2^n) in place with a
+// multi-controlled carry ladder: bit i flips iff all lower bits are 1.
+// Emitted most-significant first so controls read pre-increment values.
+// Uses the width-k MultiCX modules named mcxPrefix<k> for k = 2..n-1,
+// which the caller must also include (see IncrementSources).
+func Increment(name, mcxPrefix string, n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s(qbit x[%d]) {\n", name, n)
+	for i := n - 1; i >= 0; i-- {
+		switch i {
+		case 0:
+			sb.WriteString("  X(x[0]);\n")
+		case 1:
+			sb.WriteString("  CNOT(x[0], x[1]);\n")
+		case 2:
+			sb.WriteString("  Toffoli(x[0], x[1], x[2]);\n")
+		default:
+			fmt.Fprintf(&sb, "  %s%d(x[0:%d], x[%d]);\n", mcxPrefix, i, i, i)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// IncrementSources returns the Increment module along with every MultiCX
+// helper it needs, ready to concatenate into a program.
+func IncrementSources(name, mcxPrefix string, n int) string {
+	var sb strings.Builder
+	for k := 3; k < n; k++ {
+		sb.WriteString(MultiCX(fmt.Sprintf("%s%d", mcxPrefix, k), k))
+	}
+	sb.WriteString(Increment(name, mcxPrefix, n))
+	return sb.String()
+}
+
+// Negate returns a module computing x = -x (mod 2^n) = ~x + 1, via
+// bitwise complement and an increment (incName must be an Increment of
+// the same width).
+func Negate(name, incName string, n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s(qbit x[%d]) {\n", name, n)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    X(x[i]);\n  }\n", n)
+	fmt.Fprintf(&sb, "  %s(x);\n", incName)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Decrement returns a module computing x -= 1 (mod 2^n): the inverse of
+// Increment, i.e. the same ladder in reverse order (all blocks are
+// self-inverse).
+func Decrement(name, mcxPrefix string, n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s(qbit x[%d]) {\n", name, n)
+	for i := 0; i < n; i++ {
+		switch i {
+		case 0:
+			sb.WriteString("  X(x[0]);\n")
+		case 1:
+			sb.WriteString("  CNOT(x[0], x[1]);\n")
+		case 2:
+			sb.WriteString("  Toffoli(x[0], x[1], x[2]);\n")
+		default:
+			fmt.Fprintf(&sb, "  %s%d(x[0:%d], x[%d]);\n", mcxPrefix, i, i, i)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CtrlSwapRegs returns a module conditionally exchanging two registers
+// (bitwise Fredkin fan), the primitive behind reversible conditional
+// moves.
+func CtrlSwapRegs(name string, n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s(qbit ctl, qbit a[%d], qbit b[%d]) {\n", name, n, n)
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    Fredkin(ctl, a[i], b[i]);\n  }\n", n)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CopyReg returns a module computing b ^= a (an alias of Xor, kept for
+// readability at call sites that mean "copy a basis-state register").
+func CopyReg(name string, n int) string { return Xor(name, n) }

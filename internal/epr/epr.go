@@ -1,0 +1,191 @@
+// Package epr plans the static pre-distribution of EPR pairs that the
+// paper's teleportation-based communication depends on (§2.3: "Our
+// compiler schedules the pre-distribution of EPR pairs statically, as
+// with other parts of the overall schedule", and "longer distances do
+// imply higher EPR bandwidth requirements").
+//
+// Given a communication-annotated schedule, the planner derives, for
+// every teleport, when its EPR pair must be issued from the generator at
+// global memory so that it arrives (over a channel of finite bandwidth
+// and latency) before the move fires. The result is a per-cycle issue
+// plan plus the buffering each region needs to hold pairs that arrive
+// early — the quantities a machine designer would size the distribution
+// network with.
+package epr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// Config describes the EPR distribution network.
+type Config struct {
+	// Bandwidth is the number of pairs the generator can issue per
+	// timestep (>= 1).
+	Bandwidth int
+	// Latency is the timesteps a pair spends in a channel between issue
+	// and availability at its region (>= 0).
+	Latency int
+}
+
+// Validate rejects ill-formed configurations.
+func (c Config) Validate() error {
+	if c.Bandwidth < 1 {
+		return fmt.Errorf("epr: bandwidth must be >= 1, got %d", c.Bandwidth)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("epr: latency must be >= 0, got %d", c.Latency)
+	}
+	return nil
+}
+
+// Issue is one planned pair emission.
+type Issue struct {
+	// IssueAt is the generator cycle (may be negative: pairs needed at
+	// the very first boundaries are distributed before computation
+	// starts, exactly the paper's pre-distribution).
+	IssueAt int
+	// NeededAt is the step boundary whose teleport consumes the pair.
+	NeededAt int
+	// Region is the consuming SIMD region (the destination side of the
+	// teleport; the other half stays at global memory or the source).
+	Region int32
+	// Slot is the qubit being moved, for diagnostics.
+	Slot int
+}
+
+// Plan is a complete pre-distribution schedule.
+type Plan struct {
+	Issues []Issue
+	// Pairs is the total EPR pairs distributed (== teleport count).
+	Pairs int
+	// PreIssued counts pairs issued before cycle 0 (the warm-up the
+	// paper's pre-distribution performs).
+	PreIssued int
+	// MaxBuffered is the peak number of pairs sitting delivered-but-
+	// unconsumed across all regions, sizing the regions' pair buffers.
+	MaxBuffered int
+	// MakespanOK reports whether every pair arrives by its boundary
+	// without delaying the computation (always true: the planner issues
+	// early, pre-issuing before cycle 0 when bandwidth demands it).
+	MakespanOK bool
+}
+
+// Build derives the pre-distribution plan for one analyzed schedule.
+//
+// The planner walks boundaries in reverse time, assigning each teleport
+// the latest generator cycle that still meets its deadline under the
+// bandwidth cap: latest-issue keeps buffers minimal, and any overflow
+// pushes issues earlier — ultimately before cycle 0, which is the
+// paper's pre-distribution warm-up.
+func Build(s *schedule.Schedule, res *comm.Result, cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(res.Boundaries) != len(s.Steps) {
+		return nil, fmt.Errorf("epr: %d boundaries for %d steps", len(res.Boundaries), len(s.Steps))
+	}
+
+	// Collect teleports per boundary, in time order.
+	type need struct {
+		boundary int
+		region   int32
+		slot     int
+	}
+	var needs []need
+	for b := range res.Boundaries {
+		for _, mv := range res.Boundaries[b] {
+			if mv.Kind != comm.GlobalMove {
+				continue
+			}
+			region := int32(-1)
+			switch {
+			case mv.To.Kind == comm.InRegion:
+				region = mv.To.Region
+			case mv.From.Kind == comm.InRegion:
+				region = mv.From.Region
+			}
+			needs = append(needs, need{boundary: b, region: region, slot: mv.Slot})
+		}
+	}
+
+	plan := &Plan{Pairs: len(needs), MakespanOK: true}
+	if len(needs) == 0 {
+		return plan, nil
+	}
+
+	// Latest-issue assignment under the bandwidth cap, scanning needs
+	// from the last backwards. capacityAt[c] tracks pairs already issued
+	// at cycle c; jumpTo[c] path-compresses over full cycles so the scan
+	// stays near-linear even when many teleports share a deadline.
+	capacityAt := map[int]int{}
+	jumpTo := map[int]int{}
+	var findFree func(c int) int
+	findFree = func(c int) int {
+		if j, ok := jumpTo[c]; ok {
+			root := findFree(j)
+			jumpTo[c] = root
+			return root
+		}
+		if capacityAt[c] >= cfg.Bandwidth {
+			root := findFree(c - 1)
+			jumpTo[c] = root
+			return root
+		}
+		return c
+	}
+	plan.Issues = make([]Issue, 0, len(needs))
+	for i := len(needs) - 1; i >= 0; i-- {
+		n := needs[i]
+		deadline := n.boundary - cfg.Latency // must be issued by here
+		c := findFree(deadline)
+		capacityAt[c]++
+		plan.Issues = append(plan.Issues, Issue{
+			IssueAt:  c,
+			NeededAt: n.boundary,
+			Region:   n.region,
+			Slot:     n.slot,
+		})
+		if c < 0 {
+			plan.PreIssued++
+		}
+	}
+	// Present the plan in issue-time order (ties by deadline).
+	sort.Slice(plan.Issues, func(a, b int) bool {
+		if plan.Issues[a].IssueAt != plan.Issues[b].IssueAt {
+			return plan.Issues[a].IssueAt < plan.Issues[b].IssueAt
+		}
+		return plan.Issues[a].NeededAt < plan.Issues[b].NeededAt
+	})
+
+	// Peak buffering: pairs delivered (issue + latency) but not yet
+	// consumed (boundary).
+	type ev struct {
+		t int
+		d int
+	}
+	var events []ev
+	for _, is := range plan.Issues {
+		arrive := is.IssueAt + cfg.Latency
+		events = append(events, ev{t: arrive, d: 1}, ev{t: is.NeededAt, d: -1})
+	}
+	// Process arrivals before consumes at the same time: a pair arriving
+	// exactly at its boundary still occupies the buffer momentarily.
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].d > events[b].d
+	})
+	cur := 0
+	for _, e := range events {
+		cur += e.d
+		if cur > plan.MaxBuffered {
+			plan.MaxBuffered = cur
+		}
+	}
+	return plan, nil
+}

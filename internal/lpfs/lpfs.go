@@ -1,0 +1,232 @@
+// Package lpfs implements the paper's Longest Path First Scheduling
+// algorithm (Algorithm 2, §4.2).
+//
+// LPFS dedicates l < k SIMD regions to the l longest dependency paths of
+// the module's DAG, pinning those chains in place so their qubits never
+// move — the key to low communication on the paper's "mostly serial"
+// benchmarks. Remaining regions consume the free list of off-path ops.
+// Two options control the algorithm, both enabled in the paper's
+// experiments: SIMD (a path region opportunistically executes ready free
+// ops of the same type, or any type while its path head stalls) and
+// Refill (a region whose path completes extracts the next longest path
+// from the current ready list).
+package lpfs
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// Options configures LPFS. The paper runs l = 1 with SIMD and Refill on.
+type Options struct {
+	K int // number of SIMD regions (required, >= 1)
+	D int // data parallelism per region; 0 = unbounded
+	L int // pinned longest-path regions; 0 defaults to 1, must stay < K unless K == 1
+
+	SIMD   bool
+	Refill bool
+
+	// NoOptions suppresses the default-on behavior of SIMD/Refill when
+	// both fields are false (for ablation benches).
+	NoOptions bool
+}
+
+func (o Options) l() int {
+	l := o.L
+	if l == 0 {
+		l = 1
+	}
+	if l > o.K {
+		l = o.K
+	}
+	return l
+}
+
+func (o Options) simd() bool   { return o.SIMD || (!o.NoOptions && !o.SIMD && !o.Refill) }
+func (o Options) refill() bool { return o.Refill || (!o.NoOptions && !o.SIMD && !o.Refill) }
+
+// Schedule runs LPFS over the materialized leaf module m with dependency
+// graph g.
+func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("lpfs: k must be >= 1, got %d", opts.K)
+	}
+	if g.M != m {
+		return nil, fmt.Errorf("lpfs: graph module %s does not match %s", g.M.Name, m.Name)
+	}
+	n := g.Len()
+	s := &schedule.Schedule{M: m, K: opts.K, D: opts.D}
+	if n == 0 {
+		return s, nil
+	}
+	l := opts.l()
+	useSIMD, useRefill := opts.simd(), opts.refill()
+
+	pending := make([]int32, n)
+	for i := 0; i < n; i++ {
+		pending[i] = int32(len(g.Preds[i]))
+	}
+	ready := g.Roots()
+	claimed := make([]bool, n) // op belongs to some pinned path
+	done := make([]bool, n)    // op scheduled
+	paths := make([][]int32, l)
+	claim := func(path []int32) {
+		for _, op := range path {
+			claimed[op] = true
+		}
+	}
+	for i := 0; i < l; i++ {
+		paths[i] = g.NextLongestPath(orBool(done, claimed), ready)
+		claim(paths[i])
+	}
+
+	scheduled := 0
+	for scheduled < n {
+		step := schedule.Step{Regions: make([][]int32, opts.K)}
+		var placed []int32
+		inStep := make(map[int32]bool)
+
+		isReady := func(op int32) bool {
+			return pending[op] == 0 && !done[op] && !inStep[op]
+		}
+		// takeFree extracts ready, unclaimed free-list ops matching key,
+		// up to the remaining d budget, preserving free-list order.
+		takeFree := func(key schedule.GroupKey, qubits int) ([]int32, int) {
+			var taken []int32
+			for _, op := range ready {
+				if claimed[op] || !isReady(op) || schedule.KeyOf(m, op) != key {
+					continue
+				}
+				need := len(m.Ops[op].Args)
+				if opts.D > 0 && qubits+need > opts.D {
+					break
+				}
+				taken = append(taken, op)
+				qubits += need
+			}
+			return taken, qubits
+		}
+		place := func(r int, ops []int32) {
+			if len(ops) == 0 {
+				return
+			}
+			step.Regions[r] = append(step.Regions[r], ops...)
+			for _, op := range ops {
+				inStep[op] = true
+			}
+			placed = append(placed, ops...)
+		}
+
+		// Pinned path regions.
+		for i := 0; i < l; i++ {
+			if useRefill && len(paths[i]) == 0 {
+				paths[i] = g.NextLongestPath(orBool(done, claimed), ready)
+				claim(paths[i])
+			}
+			if len(paths[i]) > 0 && isReady(paths[i][0]) {
+				head := paths[i][0]
+				paths[i] = paths[i][1:]
+				ops := []int32{head}
+				qubits := len(m.Ops[head].Args)
+				if useSIMD {
+					fill, _ := takeFree(schedule.KeyOf(m, head), qubits)
+					ops = append(ops, fill...)
+				}
+				place(i, ops)
+				continue
+			}
+			// Path empty or head stalled: with the SIMD option the region
+			// executes arbitrary ready free ops instead of idling.
+			if useSIMD {
+				if key, ok := firstFreeKey(m, ready, claimed, isReady); ok {
+					ops, _ := takeFree(key, 0)
+					place(i, ops)
+				}
+			}
+		}
+
+		// Unallocated regions consume the free list in order.
+		for r := l; r < opts.K; r++ {
+			key, ok := firstFreeKey(m, ready, claimed, isReady)
+			if !ok {
+				break
+			}
+			ops, _ := takeFree(key, 0)
+			place(r, ops)
+		}
+
+		// Deadlock avoidance: if every pinned head stalls on a claimed-
+		// but-unready dependency and no free ops exist (possible when
+		// SIMD is disabled and k == l), run the first ready op anyway in
+		// region 0 to guarantee progress.
+		if len(placed) == 0 {
+			forced := int32(-1)
+			for _, op := range ready {
+				if isReady(op) {
+					forced = op
+					break
+				}
+			}
+			if forced < 0 {
+				return nil, fmt.Errorf("lpfs: deadlock with %d/%d ops scheduled", scheduled, n)
+			}
+			// Unlink the op from whichever path holds it, at any position.
+			for i := range paths {
+				for j, op := range paths[i] {
+					if op == forced {
+						paths[i] = append(paths[i][:j:j], paths[i][j+1:]...)
+						break
+					}
+				}
+			}
+			place(0, []int32{forced})
+		}
+
+		s.Steps = append(s.Steps, step)
+		scheduled += len(placed)
+		for _, op := range placed {
+			done[op] = true
+			for _, child := range g.Succs[op] {
+				pending[child]--
+				if pending[child] == 0 {
+					ready = append(ready, child)
+				}
+			}
+		}
+		ready = compactReady(ready, done)
+	}
+	return s, nil
+}
+
+// firstFreeKey returns the group key of the first ready, unclaimed op in
+// free-list order (the paper's ready.top()).
+func firstFreeKey(m *ir.Module, ready []int32, claimed []bool, isReady func(int32) bool) (schedule.GroupKey, bool) {
+	for _, op := range ready {
+		if !claimed[op] && isReady(op) {
+			return schedule.KeyOf(m, op), true
+		}
+	}
+	return schedule.GroupKey{}, false
+}
+
+func compactReady(ready []int32, done []bool) []int32 {
+	out := ready[:0]
+	for _, op := range ready {
+		if !done[op] {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// orBool returns a fresh slice a[i] || b[i].
+func orBool(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}

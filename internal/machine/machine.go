@@ -1,0 +1,245 @@
+// Package machine models the Multi-SIMD(k,d) quantum architecture (§2.4)
+// and provides an executor that replays a fine-grained schedule together
+// with its communication annotations, verifying every placement invariant
+// of the execution model and tallying architectural statistics (cycles,
+// teleports, EPR pairs, region and scratchpad occupancy).
+//
+// The executor is deliberately independent of the scheduler and the
+// communication pass: it re-derives qubit locations from the move lists
+// alone and cross-checks them against the operations, acting as the
+// integration oracle for the whole toolflow.
+package machine
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// Config describes one Multi-SIMD(k,d) machine instance.
+type Config struct {
+	// K is the number of independent SIMD operating regions (limited by
+	// microwave signal count, §2.4; the paper studies 2–128).
+	K int
+	// D is the data parallelism per region (100–10,000 physically;
+	// 0 models the paper's d = ∞).
+	D int
+	// LocalCapacity is the per-region scratchpad size in qubits:
+	// 0 = no local memories, negative = unbounded.
+	LocalCapacity int
+	// NoOverlap selects the strict §4.4 boundary accounting instead of
+	// the default teleportation-masking model; it must match the
+	// comm.Options the Result was produced with.
+	NoOverlap bool
+	// EPRBandwidth caps simultaneous teleports per boundary; it must
+	// match the comm.Options the Result was produced with. 0 means
+	// unlimited.
+	EPRBandwidth int
+}
+
+// Validate rejects ill-formed configurations.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("machine: k must be >= 1, got %d", c.K)
+	}
+	if c.D < 0 {
+		return fmt.Errorf("machine: d must be >= 0, got %d", c.D)
+	}
+	return nil
+}
+
+// Stats aggregates one execution.
+type Stats struct {
+	Timesteps       int64
+	Cycles          int64 // timesteps + movement overhead
+	GateOps         int64
+	QubitTouches    int64
+	Teleports       int64
+	LocalMoves      int64
+	EPRPairs        int64
+	MaxRegionQubits int // peak operated qubits in one region-step
+	MaxLocalQubits  int // peak scratchpad occupancy in one region
+	MaxGlobalQubits int // peak global-memory residency (touched qubits only)
+}
+
+// Execute replays schedule s with communication annotations res on the
+// configured machine. It returns statistics or the first invariant
+// violation.
+func Execute(cfg Config, s *schedule.Schedule, res *comm.Result) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s.K > cfg.K {
+		return nil, fmt.Errorf("machine: schedule uses %d regions, machine has %d", s.K, cfg.K)
+	}
+	if len(res.Boundaries) != len(s.Steps) {
+		return nil, fmt.Errorf("machine: %d move boundaries for %d steps", len(res.Boundaries), len(s.Steps))
+	}
+
+	stats := &Stats{Timesteps: int64(len(s.Steps))}
+	loc := map[int]comm.Loc{} // zero value: global memory
+	localOcc := make([]int, cfg.K)
+	globalOcc := 0
+	seen := map[int]bool{}
+	pending := map[int]int{} // in-flight movement cost per qubit
+	lastUse := map[int]int{} // previous operation timestep per qubit
+
+	track := func(slot int) {
+		if !seen[slot] {
+			seen[slot] = true
+			globalOcc++
+			if globalOcc > stats.MaxGlobalQubits {
+				stats.MaxGlobalQubits = globalOcc
+			}
+		}
+	}
+
+	for t := range s.Steps {
+		// Apply boundary moves.
+		stepOverhead := 0
+		boundaryTeleports := 0
+		for _, mv := range res.Boundaries[t] {
+			track(mv.Slot)
+			cur := loc[mv.Slot]
+			if cur != mv.From {
+				return nil, fmt.Errorf("machine: step %d: qubit %d moves from %s but is at %s",
+					t, mv.Slot, mv.From, cur)
+			}
+			switch mv.Kind {
+			case comm.LocalMove:
+				if !localMoveOK(mv.From, mv.To) {
+					return nil, fmt.Errorf("machine: step %d: qubit %d local move %s -> %s crosses regions",
+						t, mv.Slot, mv.From, mv.To)
+				}
+				stats.LocalMoves++
+				pending[mv.Slot] += comm.LocalCycles
+				if cfg.NoOverlap && stepOverhead < comm.LocalCycles {
+					stepOverhead = comm.LocalCycles
+				}
+			case comm.GlobalMove:
+				stats.Teleports++
+				stats.EPRPairs++
+				boundaryTeleports++
+				pending[mv.Slot] += comm.TeleportCycles
+				if cfg.NoOverlap {
+					stepOverhead = comm.TeleportCycles
+				}
+			default:
+				return nil, fmt.Errorf("machine: step %d: unknown move kind %d", t, mv.Kind)
+			}
+			// Occupancy transitions.
+			if cur.Kind == comm.InLocal {
+				localOcc[cur.Region]--
+			}
+			if cur.Kind == comm.InGlobal {
+				// leaving global memory
+				globalOcc--
+			}
+			if mv.To.Kind == comm.InLocal {
+				r := int(mv.To.Region)
+				if r < 0 || r >= cfg.K {
+					return nil, fmt.Errorf("machine: step %d: qubit %d moved to scratchpad of region %d (k=%d)",
+						t, mv.Slot, r, cfg.K)
+				}
+				localOcc[r]++
+				if cfg.LocalCapacity == 0 {
+					return nil, fmt.Errorf("machine: step %d: qubit %d parked in scratchpad but machine has none", t, mv.Slot)
+				}
+				if cfg.LocalCapacity > 0 && localOcc[r] > cfg.LocalCapacity {
+					return nil, fmt.Errorf("machine: step %d: scratchpad %d over capacity (%d > %d)",
+						t, r, localOcc[r], cfg.LocalCapacity)
+				}
+				if localOcc[r] > stats.MaxLocalQubits {
+					stats.MaxLocalQubits = localOcc[r]
+				}
+			}
+			if mv.To.Kind == comm.InGlobal {
+				globalOcc++
+				if globalOcc > stats.MaxGlobalQubits {
+					stats.MaxGlobalQubits = globalOcc
+				}
+			}
+			loc[mv.Slot] = mv.To
+		}
+		// Execute the step's operations.
+		for r, ops := range s.Steps[t].Regions {
+			if len(ops) == 0 {
+				continue
+			}
+			key := schedule.KeyOf(s.M, ops[0])
+			qubits := 0
+			for _, op := range ops {
+				if k := schedule.KeyOf(s.M, op); k != key {
+					return nil, fmt.Errorf("machine: step %d region %d mixes gate types %v and %v", t, r, key, k)
+				}
+				stats.GateOps++
+				for _, slot := range s.M.Ops[op].Args {
+					track(slot)
+					stats.QubitTouches++
+					qubits++
+					if !cfg.NoOverlap {
+						if prev, used := lastUse[slot]; used {
+							if stall := pending[slot] - (t - prev - 1); stall > stepOverhead {
+								stepOverhead = stall
+							}
+						}
+					}
+					pending[slot] = 0
+					lastUse[slot] = t
+					l := loc[slot]
+					if l.Kind == comm.InGlobal && res.Boundaries != nil {
+						// Qubits at their first-ever use teleport in via a
+						// boundary move; reaching here still in global
+						// memory means the move list missed it.
+						return nil, fmt.Errorf("machine: step %d region %d: operand %d still in global memory",
+							t, r, slot)
+					}
+					if l.Kind != comm.InRegion || l.Region != int32(r) {
+						return nil, fmt.Errorf("machine: step %d region %d: operand %d is at %s",
+							t, r, slot, l)
+					}
+				}
+			}
+			if cfg.D > 0 && qubits > cfg.D {
+				return nil, fmt.Errorf("machine: step %d region %d operates on %d qubits, d=%d",
+					t, r, qubits, cfg.D)
+			}
+			if qubits > stats.MaxRegionQubits {
+				stats.MaxRegionQubits = qubits
+			}
+		}
+		if cfg.EPRBandwidth > 0 && boundaryTeleports > cfg.EPRBandwidth {
+			waves := (boundaryTeleports + cfg.EPRBandwidth - 1) / cfg.EPRBandwidth
+			stepOverhead += (waves - 1) * comm.TeleportCycles
+		}
+		if stepOverhead != res.Overhead[t] {
+			return nil, fmt.Errorf("machine: step %d: replayed overhead %d != annotated %d",
+				t, stepOverhead, res.Overhead[t])
+		}
+	}
+
+	stats.Cycles = int64(len(s.Steps))
+	for _, o := range res.Overhead {
+		stats.Cycles += int64(o)
+	}
+	if stats.Cycles != res.Cycles {
+		return nil, fmt.Errorf("machine: replayed cycles %d != annotated %d", stats.Cycles, res.Cycles)
+	}
+	if stats.Teleports != res.GlobalMoves || stats.LocalMoves != res.LocalMoves {
+		return nil, fmt.Errorf("machine: replayed moves (%d global, %d local) != annotated (%d, %d)",
+			stats.Teleports, stats.LocalMoves, res.GlobalMoves, res.LocalMoves)
+	}
+	return stats, nil
+}
+
+func localMoveOK(from, to comm.Loc) bool {
+	switch {
+	case from.Kind == comm.InRegion && to.Kind == comm.InLocal:
+		return from.Region == to.Region
+	case from.Kind == comm.InLocal && to.Kind == comm.InRegion:
+		return from.Region == to.Region
+	default:
+		return false
+	}
+}

@@ -1,0 +1,234 @@
+package machine_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/machine"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := (machine.Config{K: 0}).Validate(); err == nil {
+		t.Error("accepted k=0")
+	}
+	if err := (machine.Config{K: 1, D: -1}).Validate(); err == nil {
+		t.Error("accepted d=-1")
+	}
+	if err := (machine.Config{K: 4, D: 0, LocalCapacity: -1}).Validate(); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func randomLeaf(rng *rand.Rand, nOps, nQubits int) *ir.Module {
+	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			m.Gate(qasm.H, rng.Intn(nQubits))
+		case 1:
+			a := rng.Intn(nQubits)
+			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
+			m.Gate(qasm.CNOT, a, b)
+		default:
+			m.Gate(qasm.T, rng.Intn(nQubits))
+		}
+	}
+	return m
+}
+
+// TestExecutorAgreesWithAnalysis replays scheduler+comm output and
+// verifies the executor confirms every annotation, across schedulers,
+// region counts and scratchpad capacities.
+func TestExecutorAgreesWithAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		m := randomLeaf(rng, 60, 6)
+		g, err := dag.Build(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 4} {
+			for _, cap := range []int{0, 1, -1} {
+				var s *schedule.Schedule
+				if trial%2 == 0 {
+					s, err = rcp.Schedule(m, g, rcp.Options{K: k})
+				} else {
+					s, err = lpfs.Schedule(m, g, lpfs.Options{K: k})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := comm.Analyze(s, comm.Options{LocalCapacity: cap})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := machine.Execute(machine.Config{K: k, LocalCapacity: cap}, s, res)
+				if err != nil {
+					t.Fatalf("trial %d k=%d cap=%d: %v", trial, k, cap, err)
+				}
+				if stats.Cycles != res.Cycles || stats.Teleports != res.GlobalMoves {
+					t.Fatalf("stats mismatch: %+v vs %+v", stats, res)
+				}
+				if stats.GateOps != int64(len(m.Ops)) {
+					t.Fatalf("gate ops %d != %d", stats.GateOps, len(m.Ops))
+				}
+			}
+		}
+	}
+}
+
+func TestExecutorCatchesForgedMoves(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 2}})
+	m.Gate(qasm.H, 0).Gate(qasm.H, 1)
+	g, err := dag.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rcp.Schedule(m, g, rcp.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comm.Analyze(s, comm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge: drop all moves — operands never arrive.
+	forged := *res
+	forged.Boundaries = make([][]comm.Move, len(res.Boundaries))
+	_, err = machine.Execute(machine.Config{K: 1}, s, &forged)
+	if err == nil || !strings.Contains(err.Error(), "global memory") {
+		t.Errorf("missing moves not caught: %v", err)
+	}
+}
+
+func TestExecutorCatchesWrongOverhead(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 2}})
+	m.Gate(qasm.CNOT, 0, 1)
+	g, err := dag.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rcp.Schedule(m, g, rcp.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comm.Analyze(s, comm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *res
+	forged.Overhead = append([]int(nil), res.Overhead...)
+	forged.Overhead[0] += 3
+	forged.Cycles += 3
+	if _, err := machine.Execute(machine.Config{K: 1}, s, &forged); err == nil {
+		t.Error("wrong overhead not caught")
+	}
+}
+
+func TestExecutorEnforcesCapacity(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 3}})
+	m.Gate(qasm.CNOT, 0, 1).Gate(qasm.T, 2).Gate(qasm.CNOT, 0, 1)
+	g, err := dag.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &schedule.Schedule{M: m, K: 1, Steps: []schedule.Step{
+		{Regions: [][]int32{{0}}},
+		{Regions: [][]int32{{1}}},
+		{Regions: [][]int32{{2}}},
+	}}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := comm.Analyze(s, comm.Options{LocalCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine with a smaller scratchpad than the analysis assumed.
+	if _, err := machine.Execute(machine.Config{K: 1, LocalCapacity: 1}, s, res); err == nil {
+		t.Error("capacity overflow not caught")
+	}
+	// Machine with no scratchpad at all.
+	if _, err := machine.Execute(machine.Config{K: 1, LocalCapacity: 0}, s, res); err == nil {
+		t.Error("scratchpad use on scratchpad-less machine not caught")
+	}
+	// Matching machine executes fine.
+	if _, err := machine.Execute(machine.Config{K: 1, LocalCapacity: 2}, s, res); err != nil {
+		t.Errorf("valid execution rejected: %v", err)
+	}
+}
+
+func TestExecutorEnforcesD(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 4}})
+	for i := 0; i < 4; i++ {
+		m.Gate(qasm.H, i)
+	}
+	g, err := dag.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rcp.Schedule(m, g, rcp.Options{K: 1}) // groups all 4 in one step
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comm.Analyze(s, comm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Execute(machine.Config{K: 1, D: 2}, s, res); err == nil {
+		t.Error("d violation not caught")
+	}
+}
+
+// Property: executor statistics are internally consistent for arbitrary
+// scheduled circuits.
+func TestExecutorStatsQuick(t *testing.T) {
+	f := func(seed int64, kRaw uint8, localCap int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%3) + 1
+		capOpt := int(localCap % 3)
+		if capOpt == 2 {
+			capOpt = -1
+		}
+		m := randomLeaf(rng, 30, 4)
+		g, err := dag.Build(m)
+		if err != nil {
+			return false
+		}
+		s, err := lpfs.Schedule(m, g, lpfs.Options{K: k})
+		if err != nil {
+			return false
+		}
+		res, err := comm.Analyze(s, comm.Options{LocalCapacity: capOpt})
+		if err != nil {
+			return false
+		}
+		stats, err := machine.Execute(machine.Config{K: k, LocalCapacity: capOpt}, s, res)
+		if err != nil {
+			return false
+		}
+		if stats.Timesteps != int64(s.Length()) || stats.EPRPairs != stats.Teleports {
+			return false
+		}
+		if stats.MaxLocalQubits > 0 && capOpt == 0 {
+			return false
+		}
+		var touches int64
+		for i := range m.Ops {
+			touches += int64(len(m.Ops[i].Args))
+		}
+		return stats.QubitTouches == touches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package parser
+
+import (
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/printer"
+	"github.com/scaffold-go/multisimd/internal/sema"
+)
+
+// FuzzParse asserts the front end never panics and that anything it
+// accepts survives a print/re-parse round trip. Seeds run as part of the
+// normal test suite; `go test -fuzz FuzzParse ./internal/parser` explores
+// further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module main() { }",
+		"module main() { qbit q[4]; H(q[0]); }",
+		"module f(qbit a, cbit c) { MeasZ(a); } module main() { qbit q; cbit c; f(q, c); }",
+		"module main() { qbit q[8]; for (i = 0; i < 8; i++) { if (i % 2 == 0) { X(q[i]); } } }",
+		"module main() { qbit q; Rz(q, -(3.14 / 4)); }",
+		"module m(qbit x[2]) { Swap(x[0], x[1]); } module main() { qbit q[4]; m(q[1:3]); }",
+		"module main() { qbit q[1 << 3]; H(q[7]); }",
+		"module main() { qbit q; /* block */ H(q); // line\n }",
+		"module main() { qbit q[2]; CNOT(q[0], q[1]) }", // missing semicolon
+		"module main() { qbit q; H(q[0:2]); }",          // slice as gate operand
+		"module main() { qbit q; Frobnicate(q); }",      // unknown call
+		"module 123() {}", // bad name
+		"module main() { for (i = 0; j < 2; i++) {} }", // mismatched var
+		"qbit stray;", // decl at top level
+		"module main() { qbit q[999999999999999999]; }", // huge size
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted inputs must round-trip through the printer.
+		text := printer.Program(prog)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printer output rejected: %v\ninput: %q\nprinted: %q", err, src, text)
+		}
+		_ = again
+		// Sema must terminate without panicking on anything parseable.
+		_ = sema.Check(prog)
+	})
+}

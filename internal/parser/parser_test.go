@@ -1,0 +1,184 @@
+package parser
+
+import (
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestParseModuleShapes(t *testing.T) {
+	p := parseOK(t, `
+module helper(qbit a, qbit b[4], cbit out) {
+  H(a);
+}
+module main() {
+  qbit q[2];
+  cbit c;
+  helper(q[0], q, c);
+}
+`)
+	if len(p.Modules) != 2 {
+		t.Fatalf("got %d modules", len(p.Modules))
+	}
+	h := p.Modules[0]
+	if h.Name != "helper" || len(h.Params) != 3 {
+		t.Fatalf("helper: %+v", h)
+	}
+	if h.Params[0].Size != 1 || h.Params[1].Size != 4 || !h.Params[2].Classical {
+		t.Errorf("params: %+v", h.Params)
+	}
+	m := p.Modules[1]
+	if len(m.Body.Stmts) != 3 {
+		t.Fatalf("main has %d stmts", len(m.Body.Stmts))
+	}
+	call, ok := m.Body.Stmts[2].(*ast.CallStmt)
+	if !ok || call.Callee != "helper" || len(call.Args) != 3 {
+		t.Fatalf("call: %+v", m.Body.Stmts[2])
+	}
+	if !call.Args[1].IsWhole() {
+		t.Error("whole-register arg misparsed")
+	}
+}
+
+func TestParseGateKinds(t *testing.T) {
+	p := parseOK(t, `
+module main() {
+  qbit q[3];
+  X(q[0]);
+  CNOT(q[0], q[1]);
+  Toffoli(q[0], q[1], q[2]);
+  Rz(q[0], 1.5);
+  Rz(q[1], -0.5);
+  CRz(q[0], q[1], 3.14159/4);
+}
+`)
+	body := p.Modules[0].Body.Stmts
+	if len(body) != 7 {
+		t.Fatalf("got %d stmts", len(body))
+	}
+	rz := body[4].(*ast.GateStmt)
+	if rz.Angle == nil || len(rz.Args) != 1 {
+		t.Fatalf("Rz misparsed: %+v", rz)
+	}
+	crz := body[6].(*ast.GateStmt)
+	if crz.Angle == nil || len(crz.Args) != 2 {
+		t.Fatalf("CRz misparsed: %+v", crz)
+	}
+	if _, ok := crz.Angle.(*ast.BinExpr); !ok {
+		t.Errorf("CRz angle should be a division expression, got %T", crz.Angle)
+	}
+}
+
+func TestParseSliceArgs(t *testing.T) {
+	p := parseOK(t, `
+module f(qbit x[4]) {
+  H(x[0]);
+}
+module main() {
+  qbit q[8];
+  f(q[0:4]);
+  f(q[4:8]);
+}
+`)
+	call := p.Modules[1].Body.Stmts[1].(*ast.CallStmt)
+	if !call.Args[0].IsSlice() {
+		t.Fatal("slice arg misparsed")
+	}
+}
+
+func TestParseForAndIf(t *testing.T) {
+	p := parseOK(t, `
+module main() {
+  qbit q[8];
+  for (i = 0; i < 8; i++) {
+    H(q[i]);
+    if (i % 2 == 0) {
+      X(q[i]);
+    } else {
+      Z(q[i]);
+    }
+  }
+}
+`)
+	loop := p.Modules[0].Body.Stmts[1].(*ast.ForStmt)
+	if loop.Var != "i" {
+		t.Fatalf("loop var %q", loop.Var)
+	}
+	iff := loop.Body.Stmts[1].(*ast.IfStmt)
+	if iff.Else == nil {
+		t.Error("else branch lost")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	p := parseOK(t, `
+module main() {
+  qbit q[32];
+  H(q[1+2*3]);
+}
+`)
+	g := p.Modules[0].Body.Stmts[1].(*ast.GateStmt)
+	idx := g.Args[0].Index.(*ast.BinExpr)
+	// Must parse as 1 + (2*3): top-level op is Plus.
+	if idx.Op.String() != "'+'" {
+		t.Errorf("precedence broken: top op %v", idx.Op)
+	}
+	if _, ok := idx.R.(*ast.BinExpr); !ok {
+		t.Errorf("right side should be 2*3, got %T", idx.R)
+	}
+}
+
+func TestParseShift(t *testing.T) {
+	p := parseOK(t, `
+module main() {
+  qbit q[64];
+  for (i = 0; i < 1 << 5; i++) {
+    H(q[0]);
+  }
+}
+`)
+	loop := p.Modules[0].Body.Stmts[1].(*ast.ForStmt)
+	if _, ok := loop.Hi.(*ast.BinExpr); !ok {
+		t.Errorf("shift expression lost: %T", loop.Hi)
+	}
+}
+
+func TestParseNegative(t *testing.T) {
+	parseOK(t, `
+module main() {
+  qbit q;
+  Rz(q, -1.5);
+  Rz(q, -(1+2));
+}
+`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"module { }",                                // missing name
+		"module m() { qbit q[; }",                   // bad decl
+		"module m() { H(q) }",                       // missing semicolon
+		"module m() { for (i = 0; j < 3; i++) {} }", // mismatched loop var
+		"module m() { for (i = 0; i < 3; j++) {} }", // mismatched increment
+		"module m() { if (1) {} }",                  // missing comparison
+		"module m() { Rz(q); }",                     // rotation missing angle
+		"module m(qbit a[0]) { }",                   // zero-size param
+		"module m() { qbit q[2]; H(q[0); }",         // unbalanced bracket
+		"module m() {",                              // EOF in block
+		"stuff",                                     // garbage
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/scaffold-go/multisimd/internal/scaffold"
+)
+
+func parseInt(t scaffold.Token) (int64, error) {
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parser: %s: bad integer %q: %w", t.Pos, t.Text, err)
+	}
+	return n, nil
+}
+
+func parseFloat(t scaffold.Token) (float64, error) {
+	f, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parser: %s: bad float %q: %w", t.Pos, t.Text, err)
+	}
+	return f, nil
+}

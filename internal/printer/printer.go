@@ -1,0 +1,209 @@
+// Package printer renders Scaffold-lite ASTs back to canonical source
+// text. Printing then re-parsing yields a structurally identical tree
+// (the round-trip property the package tests enforce), which makes the
+// printer usable as a formatter (scaffc -emit scaffold) and as a
+// debugging aid for generated benchmarks.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/ast"
+	"github.com/scaffold-go/multisimd/internal/scaffold"
+)
+
+// Program renders a whole program.
+func Program(p *ast.Program) string {
+	var sb strings.Builder
+	for i, m := range p.Modules {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		writeModule(&sb, m)
+	}
+	return sb.String()
+}
+
+func writeModule(sb *strings.Builder, m *ast.Module) {
+	sb.WriteString("module ")
+	sb.WriteString(m.Name)
+	sb.WriteByte('(')
+	for i, p := range m.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if p.Classical {
+			sb.WriteString("cbit ")
+		} else {
+			sb.WriteString("qbit ")
+		}
+		sb.WriteString(p.Name)
+		if p.Size != 1 {
+			fmt.Fprintf(sb, "[%d]", p.Size)
+		}
+	}
+	sb.WriteString(") ")
+	writeBlock(sb, m.Body, 0)
+	sb.WriteByte('\n')
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeBlock(sb *strings.Builder, b *ast.Block, depth int) {
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		writeStmt(sb, s, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteByte('}')
+}
+
+func writeStmt(sb *strings.Builder, s ast.Stmt, depth int) {
+	indent(sb, depth)
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		if st.Classical {
+			sb.WriteString("cbit ")
+		} else {
+			sb.WriteString("qbit ")
+		}
+		sb.WriteString(st.Name)
+		if st.Size != nil {
+			sb.WriteByte('[')
+			writeExpr(sb, st.Size)
+			sb.WriteByte(']')
+		}
+		sb.WriteString(";\n")
+	case *ast.GateStmt:
+		sb.WriteString(st.Name)
+		sb.WriteByte('(')
+		for i := range st.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeQubit(sb, &st.Args[i])
+		}
+		if st.Angle != nil {
+			if len(st.Args) > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, st.Angle)
+		}
+		sb.WriteString(");\n")
+	case *ast.CallStmt:
+		sb.WriteString(st.Callee)
+		sb.WriteByte('(')
+		for i := range st.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeQubit(sb, &st.Args[i])
+		}
+		sb.WriteString(");\n")
+	case *ast.ForStmt:
+		fmt.Fprintf(sb, "for (%s = ", st.Var)
+		writeExpr(sb, st.Lo)
+		fmt.Fprintf(sb, "; %s < ", st.Var)
+		writeExpr(sb, st.Hi)
+		fmt.Fprintf(sb, "; %s++) ", st.Var)
+		writeBlock(sb, st.Body, depth)
+		sb.WriteByte('\n')
+	case *ast.IfStmt:
+		sb.WriteString("if (")
+		writeExpr(sb, st.Cond.L)
+		fmt.Fprintf(sb, " %s ", opText(st.Cond.Op))
+		writeExpr(sb, st.Cond.R)
+		sb.WriteString(") ")
+		writeBlock(sb, st.Then, depth)
+		if st.Else != nil {
+			sb.WriteString(" else ")
+			writeBlock(sb, st.Else, depth)
+		}
+		sb.WriteByte('\n')
+	default:
+		fmt.Fprintf(sb, "/* unknown stmt %T */\n", s)
+	}
+}
+
+func writeQubit(sb *strings.Builder, q *ast.QubitExpr) {
+	sb.WriteString(q.Name)
+	switch {
+	case q.IsSlice():
+		sb.WriteByte('[')
+		writeExpr(sb, q.Index)
+		sb.WriteByte(':')
+		writeExpr(sb, q.SliceHi)
+		sb.WriteByte(']')
+	case q.Index != nil:
+		sb.WriteByte('[')
+		writeExpr(sb, q.Index)
+		sb.WriteByte(']')
+	}
+}
+
+// writeExpr renders an expression fully parenthesized below the top
+// level, so precedence survives the round trip without a printer-side
+// precedence table.
+func writeExpr(sb *strings.Builder, e ast.Expr) {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		fmt.Fprintf(sb, "%d", ex.Value)
+	case *ast.FloatLit:
+		s := strconv.FormatFloat(ex.Value, 'g', -1, 64)
+		// Keep float literals lexically floats.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		sb.WriteString(s)
+	case *ast.VarRef:
+		sb.WriteString(ex.Name)
+	case *ast.NegExpr:
+		sb.WriteString("-(")
+		writeExpr(sb, ex.E)
+		sb.WriteByte(')')
+	case *ast.BinExpr:
+		sb.WriteByte('(')
+		writeExpr(sb, ex.L)
+		fmt.Fprintf(sb, " %s ", opText(ex.Op))
+		writeExpr(sb, ex.R)
+		sb.WriteByte(')')
+	default:
+		fmt.Fprintf(sb, "/* unknown expr %T */", e)
+	}
+}
+
+func opText(k scaffold.Kind) string {
+	switch k {
+	case scaffold.Plus:
+		return "+"
+	case scaffold.Minus:
+		return "-"
+	case scaffold.Star:
+		return "*"
+	case scaffold.Slash:
+		return "/"
+	case scaffold.Percent:
+		return "%"
+	case scaffold.Shl:
+		return "<<"
+	case scaffold.Lt:
+		return "<"
+	case scaffold.Le:
+		return "<="
+	case scaffold.Gt:
+		return ">"
+	case scaffold.Ge:
+		return ">="
+	case scaffold.EqEq:
+		return "=="
+	case scaffold.NotEq:
+		return "!="
+	}
+	return "?"
+}

@@ -1,0 +1,188 @@
+// Package rcp implements the paper's Ready Critical Path scheduler
+// (Algorithm 1), extended for the Multi-SIMD execution model.
+//
+// RCP keeps a ready list — only ops whose dependencies are all satisfied —
+// and, at every timestep, repeatedly picks the (SIMD region, operation
+// type) pair of maximum weight until regions run out:
+//
+//	weight = w_op·prevalence(optype) + w_dist·locality(op, region) − w_slack·slack(op)
+//
+// prevalence groups qubits to expose data parallelism, locality counts
+// operands already resident in the candidate region (movement cost), and
+// slack demotes ops whose next use is far away. All scheduled ops of the
+// chosen type land in the chosen region in one step.
+package rcp
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// Options configures the scheduler. The paper's experiments use the zero
+// Weights value (all weights 1) and D = 0 (d = ∞).
+type Options struct {
+	K int // number of SIMD regions (required, >= 1)
+	D int // data parallelism per region; 0 = unbounded
+
+	// WOp, WDist and WSlack scale the three weight terms; zero values
+	// default to 1. Set a term negative to invert it (used by ablations).
+	WOp    float64
+	WDist  float64
+	WSlack float64
+	// weightsSet marks that zero weights were given explicitly.
+	ExplicitWeights bool
+}
+
+func (o Options) weights() (wop, wdist, wslack float64) {
+	if o.ExplicitWeights {
+		return o.WOp, o.WDist, o.WSlack
+	}
+	wop, wdist, wslack = o.WOp, o.WDist, o.WSlack
+	if wop == 0 {
+		wop = 1
+	}
+	if wdist == 0 {
+		wdist = 1
+	}
+	if wslack == 0 {
+		wslack = 1
+	}
+	return
+}
+
+// Schedule runs RCP over the materialized leaf module m with dependency
+// graph g.
+func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("rcp: k must be >= 1, got %d", opts.K)
+	}
+	if g.M != m {
+		return nil, fmt.Errorf("rcp: graph module %s does not match %s", g.M.Name, m.Name)
+	}
+	wop, wdist, wslack := opts.weights()
+	n := g.Len()
+	s := &schedule.Schedule{M: m, K: opts.K, D: opts.D}
+	if n == 0 {
+		return s, nil
+	}
+
+	pending := make([]int32, n) // unsatisfied dependency counts
+	for i := 0; i < n; i++ {
+		pending[i] = int32(len(g.Preds[i]))
+	}
+	ready := g.Roots()
+	loc := make([]int32, m.TotalSlots()) // qubit slot -> region, -1 = memory
+	for i := range loc {
+		loc[i] = -1
+	}
+	scheduled := 0
+
+	for scheduled < n {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("rcp: deadlock with %d/%d ops scheduled", scheduled, n)
+		}
+		step := schedule.Step{Regions: make([][]int32, opts.K)}
+		var placed []int32
+		regionFree := make([]bool, opts.K)
+		for r := range regionFree {
+			regionFree[r] = true
+		}
+		freeRegions := opts.K
+
+		for freeRegions > 0 && len(ready) > 0 {
+			// Prevalence of each group key in the ready list.
+			prev := map[schedule.GroupKey]int{}
+			for _, op := range ready {
+				prev[schedule.KeyOf(m, op)]++
+			}
+			// Find the max-weight (op, region) pair.
+			bestW := 0.0
+			bestOp := int32(-1)
+			bestRegion := -1
+			for _, op := range ready {
+				key := schedule.KeyOf(m, op)
+				base := wop*float64(prev[key]) - wslack*float64(g.Slack(op))
+				// Locality: prefer the free region already holding the
+				// most operands of this op; ties and memory-resident
+				// operands fall back to the first free region.
+				locality := 0
+				region := -1
+				counts := make(map[int32]int, len(m.Ops[op].Args))
+				for _, slot := range m.Ops[op].Args {
+					if r := loc[slot]; r >= 0 && regionFree[r] {
+						counts[r]++
+					}
+				}
+				for r, c := range counts {
+					if c > locality || (c == locality && region < 0) {
+						locality = c
+						region = int(r)
+					}
+				}
+				if region < 0 {
+					for r := 0; r < opts.K; r++ {
+						if regionFree[r] {
+							region = r
+							break
+						}
+					}
+				}
+				w := base + wdist*float64(locality)
+				if bestOp < 0 || w > bestW {
+					bestW = w
+					bestOp = op
+					bestRegion = region
+				}
+			}
+			if bestOp < 0 {
+				break
+			}
+			// Extract all ready ops of the winning type into the region,
+			// respecting the d limit.
+			key := schedule.KeyOf(m, bestOp)
+			var taken []int32
+			qubits := 0
+			rest := ready[:0]
+			for _, op := range ready {
+				if schedule.KeyOf(m, op) == key {
+					need := len(m.Ops[op].Args)
+					if opts.D == 0 || qubits+need <= opts.D {
+						taken = append(taken, op)
+						qubits += need
+						continue
+					}
+				}
+				rest = append(rest, op)
+			}
+			ready = rest
+			step.Regions[bestRegion] = taken
+			placed = append(placed, taken...)
+			regionFree[bestRegion] = false
+			freeRegions--
+			for _, op := range taken {
+				for _, slot := range m.Ops[op].Args {
+					loc[slot] = int32(bestRegion)
+				}
+			}
+		}
+
+		if len(placed) == 0 {
+			return nil, fmt.Errorf("rcp: made no progress at step %d", len(s.Steps))
+		}
+		s.Steps = append(s.Steps, step)
+		scheduled += len(placed)
+		// Release children whose dependencies completed this step.
+		for _, op := range placed {
+			for _, child := range g.Succs[op] {
+				pending[child]--
+				if pending[child] == 0 {
+					ready = append(ready, child)
+				}
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,238 @@
+package resource_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/resource"
+)
+
+func TestHierarchicalGateCounts(t *testing.T) {
+	p := ir.NewProgram("main")
+	leaf := ir.NewModule("leaf", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	leaf.Gate(qasm.T, 0).Gate(qasm.H, 0)
+	p.Add(leaf)
+	mid := ir.NewModule("mid", []ir.Reg{{Name: "y", Size: 1}}, nil)
+	mid.CallN("leaf", 1000, ir.Range{Start: 0, Len: 1})
+	mid.Gate(qasm.X, 0)
+	p.Add(mid)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.CallN("mid", 1_000_000, ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := est.TotalGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2*1000 + 1) * 1e6 = 2.001e9 — paper-scale counting without
+	// materialization.
+	if g != 2_001_000_000 {
+		t.Errorf("gates = %d", g)
+	}
+}
+
+func TestSaturationNotOverflow(t *testing.T) {
+	p := ir.NewProgram("main")
+	leaf := ir.NewModule("leaf", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	leaf.Ops = append(leaf.Ops, ir.Op{Kind: ir.GateOp, Gate: qasm.T, Args: []int{0}, Count: math.MaxInt64 / 2})
+	p.Add(leaf)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.CallN("leaf", math.MaxInt64/2, ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := est.TotalGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != math.MaxInt64 {
+		t.Errorf("expected saturation, got %d", g)
+	}
+}
+
+func TestMinQubitsStackReuse(t *testing.T) {
+	// leaf uses 3 ancillae; mid adds 2 and calls leaf twice (serially:
+	// ancilla reuse); main has 4 data qubits and calls mid twice.
+	p := ir.NewProgram("main")
+	leaf := ir.NewModule("leaf", []ir.Reg{{Name: "x", Size: 1}}, []ir.Reg{{Name: "a", Size: 3}})
+	leaf.Gate(qasm.CNOT, 0, 1)
+	p.Add(leaf)
+	mid := ir.NewModule("mid", []ir.Reg{{Name: "y", Size: 2}}, []ir.Reg{{Name: "b", Size: 2}})
+	mid.Call("leaf", ir.Range{Start: 0, Len: 1})
+	mid.Call("leaf", ir.Range{Start: 1, Len: 1})
+	p.Add(mid)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 4}})
+	main.Call("mid", ir.Range{Start: 0, Len: 2})
+	main.Call("mid", ir.Range{Start: 2, Len: 2})
+	p.Add(main)
+
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := est.MinQubits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 (main) + 2 (mid locals) + 3 (leaf locals) = 9 with full reuse.
+	if q != 9 {
+		t.Errorf("Q = %d, want 9", q)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	p := ir.NewProgram("main")
+	// tiny: 2 gates -> bucket 0; big: 1500 gates -> bucket "1k-5k";
+	// main calls both, total > 1k.
+	tiny := ir.NewModule("tiny", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	tiny.Gate(qasm.H, 0).Gate(qasm.H, 0)
+	p.Add(tiny)
+	big := ir.NewModule("big", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	big.Ops = append(big.Ops, ir.Op{Kind: ir.GateOp, Gate: qasm.T, Args: []int{0}, Count: 1500})
+	p.Add(big)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.Call("tiny", ir.Range{Start: 0, Len: 1})
+	main.Call("big", ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct, err := est.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pct) != len(resource.Fig5Buckets) {
+		t.Fatalf("bucket count %d", len(pct))
+	}
+	var sum float64
+	for _, v := range pct {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("percentages sum to %g", sum)
+	}
+	// tiny in bucket 0; big and main (1502) in bucket 1.
+	if math.Abs(pct[0]-100.0/3) > 1e-9 || math.Abs(pct[1]-200.0/3) > 1e-9 {
+		t.Errorf("buckets: %v", pct[:3])
+	}
+}
+
+func TestFlattenableFraction(t *testing.T) {
+	p := ir.NewProgram("main")
+	big := ir.NewModule("big", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	big.Ops = append(big.Ops, ir.Op{Kind: ir.GateOp, Gate: qasm.T, Args: []int{0}, Count: 5000})
+	p.Add(big)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.Gate(qasm.H, 0)
+	main.Call("big", ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := est.FlattenableFraction(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("fth=1000: %g%%, want 0 (both modules over)", f)
+	}
+	f, err = est.FlattenableFraction(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 50 {
+		t.Errorf("fth=5000: %g%%, want 50", f)
+	}
+}
+
+func TestReachabilityExcludesDeadModules(t *testing.T) {
+	p := ir.NewProgram("main")
+	dead := ir.NewModule("dead", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	dead.Gate(qasm.H, 0)
+	p.Add(dead)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.Gate(qasm.H, 0)
+	p.Add(main)
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := est.Reachable()
+	if len(reach) != 1 || reach[0] != "main" {
+		t.Errorf("reachable: %v", reach)
+	}
+}
+
+func TestSortedModuleGates(t *testing.T) {
+	p := ir.NewProgram("main")
+	a := ir.NewModule("a", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	a.Gate(qasm.H, 0)
+	p.Add(a)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.CallN("a", 10, ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := est.SortedModuleGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != 2 || sorted[0].Name != "main" || sorted[0].Gates != 10 {
+		t.Errorf("sorted: %+v", sorted)
+	}
+}
+
+func TestMissingModuleErrors(t *testing.T) {
+	p := ir.NewProgram("main")
+	m := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	m.Gate(qasm.H, 0)
+	p.Add(m)
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Gates("ghost"); err == nil {
+		t.Error("missing module accepted")
+	}
+}
+
+func TestNewRejectsRecursion(t *testing.T) {
+	p := ir.NewProgram("main")
+	m := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	m.Call("main")
+	p.Add(m)
+	if _, err := resource.New(p); err == nil {
+		t.Error("recursive program accepted")
+	}
+}
+
+func TestEntryParamsCountTowardQ(t *testing.T) {
+	p := ir.NewProgram("main")
+	m := ir.NewModule("main", []ir.Reg{{Name: "in", Size: 7}}, []ir.Reg{{Name: "anc", Size: 2}})
+	m.Gate(qasm.H, 0)
+	p.Add(m)
+	est, err := resource.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := est.MinQubits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 9 {
+		t.Errorf("Q = %d, want 9 (7 params + 2 locals)", q)
+	}
+}

@@ -1,0 +1,217 @@
+package reuse_test
+
+import (
+	"fmt"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/ctqg"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/reuse"
+	"github.com/scaffold-go/multisimd/internal/sim"
+)
+
+func TestDisjointAncillaeShare(t *testing.T) {
+	// Two ancillae with back-to-back live ranges collapse into one.
+	m := ir.NewModule("m", []ir.Reg{{Name: "q", Size: 1}},
+		[]ir.Reg{{Name: "a", Size: 1}, {Name: "b", Size: 1}})
+	m.Gate(qasm.CNOT, 0, 1) // a live [0,1]
+	m.Gate(qasm.CNOT, 0, 1)
+	m.Gate(qasm.CNOT, 0, 2) // b live [2,3]
+	m.Gate(qasm.CNOT, 0, 2)
+	st, err := reuse.Leaf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LocalsBefore != 2 || st.LocalsAfter != 1 || st.Saved() != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if m.TotalSlots() != 2 {
+		t.Errorf("slots: %d", m.TotalSlots())
+	}
+	// Both pairs now target the same physical ancilla.
+	if m.Ops[0].Args[1] != m.Ops[2].Args[1] {
+		t.Errorf("ancillae not shared: %v vs %v", m.Ops[0].Args, m.Ops[2].Args)
+	}
+}
+
+func TestOverlappingAncillaeDoNotShare(t *testing.T) {
+	m := ir.NewModule("m", []ir.Reg{{Name: "q", Size: 1}},
+		[]ir.Reg{{Name: "a", Size: 1}, {Name: "b", Size: 1}})
+	m.Gate(qasm.CNOT, 0, 1) // a live [0,3]
+	m.Gate(qasm.CNOT, 0, 2) // b live [1,2]
+	m.Gate(qasm.CNOT, 0, 2)
+	m.Gate(qasm.CNOT, 0, 1)
+	st, err := reuse.Leaf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LocalsAfter != 2 {
+		t.Errorf("overlapping ancillae merged: %+v", st)
+	}
+	if m.Ops[0].Args[1] == m.Ops[1].Args[1] {
+		t.Error("live ranges overlap but share a slot")
+	}
+}
+
+func TestUnusedLocalsDropped(t *testing.T) {
+	m := ir.NewModule("m", []ir.Reg{{Name: "q", Size: 1}},
+		[]ir.Reg{{Name: "dead", Size: 5}})
+	m.Gate(qasm.H, 0)
+	st, err := reuse.Leaf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 5 || st.LocalsAfter != 0 || m.TotalSlots() != 1 {
+		t.Errorf("stats: %+v, slots %d", st, m.TotalSlots())
+	}
+}
+
+func TestRejectsUnmaterialized(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 1}})
+	m.Call("f", ir.Range{Start: 0, Len: 1})
+	if _, err := reuse.Leaf(m); err == nil {
+		t.Error("call op accepted")
+	}
+	m2 := ir.NewModule("m2", nil, []ir.Reg{{Name: "q", Size: 1}})
+	m2.Ops = append(m2.Ops, ir.Op{Kind: ir.GateOp, Gate: qasm.H, Args: []int{0}, Count: 3})
+	if _, err := reuse.Leaf(m2); err == nil {
+		t.Error("counted op accepted")
+	}
+}
+
+// TestReuseOnFlattenedArithmetic runs the pass over a flattened CTQG
+// composite (sequential adders, each with its own inlined ancillae) and
+// verifies both the footprint reduction and unchanged semantics on the
+// simulator.
+func TestReuseOnFlattenedArithmetic(t *testing.T) {
+	const n = 3
+	var sb strings.Builder
+	sb.WriteString(ctqg.Adder("add", n))
+	sb.WriteString(ctqg.CtrlCopy("ccopy", n))
+	sb.WriteString(ctqg.CtrlAdder("cadd", "ccopy", "add", n))
+	// work's parameters are the data registers; each cadd inlines a
+	// fresh tmp[3] ancilla set.
+	sb.WriteString("module work(qbit ctl, qbit a[3], qbit b[3], qbit cin, qbit cout) {\n")
+	sb.WriteString("  cadd(ctl, a, b, cin, cout);\n")
+	sb.WriteString("  cadd(ctl, a, b, cin, cout);\n}\n")
+	sb.WriteString("module main() {\n  qbit ctl;\n  qbit a[3];\n  qbit b[3];\n  qbit cin;\n  qbit cout;\n")
+	sb.WriteString("  X(ctl);\n  X(a[0]);\n  X(a[1]);\n  X(b[0]);\n")
+	sb.WriteString("  work(ctl, a, b, cin, cout);\n}\n")
+
+	prog, err := core.Build(sb.String(), core.PipelineOptions{SkipDecompose: true, FTh: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flattening turns everything into leaves; restore the call
+	// structure for the test by rebuilding main around the flattened
+	// work leaf (whose parameters pin the data registers).
+	work := prog.Module("work")
+	if work == nil || !work.IsLeaf() {
+		t.Fatal("work not flattened to a leaf")
+	}
+	main := ir.NewModule("main", nil, []ir.Reg{
+		{Name: "ctl", Size: 1}, {Name: "a", Size: 3}, {Name: "b", Size: 3},
+		{Name: "cin", Size: 1}, {Name: "cout", Size: 1},
+	})
+	main.Gate(qasm.X, 0).Gate(qasm.X, 1).Gate(qasm.X, 2).Gate(qasm.X, 4)
+	main.Call("work",
+		ir.Range{Start: 0, Len: 1}, ir.Range{Start: 1, Len: 3},
+		ir.Range{Start: 4, Len: 3}, ir.Range{Start: 7, Len: 1}, ir.Range{Start: 8, Len: 1})
+	prog.Add(main)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	simQubits := 9 + work.LocalSlots()
+	if simQubits > 20 {
+		simQubits = 20
+	}
+	ref, err := sim.NewState(simQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := reuse.Leaf(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Saved() < 3 {
+		t.Errorf("expected at least one tmp register (3 slots) saved, got %d (stats %+v)", st.Saved(), st)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("post-reuse validate: %v", err)
+	}
+	if g, err := dag.Build(work); err != nil || g.Len() != len(work.Ops) {
+		t.Fatalf("post-reuse dag: %v", err)
+	}
+
+	after, err := sim.NewState(simQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	refBasis := dominantBasis(t, ref)
+	newBasis := dominantBasis(t, after)
+	dataBits := uint64(1)<<uint(9) - 1 // main's registers occupy qubits 0..8
+	if refBasis&dataBits != newBasis&dataBits {
+		t.Errorf("data registers diverged: %09b vs %09b", refBasis&dataBits, newBasis&dataBits)
+	}
+	// a=3, b=1, ctl=1: after two controlled adds b = 1 + 3 + 3 = 7.
+	bVal := (newBasis >> 4) & 7
+	if bVal != 7 {
+		t.Errorf("b = %d, want 7", bVal)
+	}
+}
+
+func dominantBasis(t *testing.T, st *sim.State) uint64 {
+	t.Helper()
+	n := st.N()
+	for i := uint64(0); i < 1<<uint(n); i++ {
+		if cmplx.Abs(st.Amplitude(i)) > 0.999 {
+			return i
+		}
+	}
+	t.Fatal("no dominant basis state")
+	return 0
+}
+
+// TestReuseNeverIncreasesAndStaysValid sweeps the flattened small
+// benchmarks' leaves.
+func TestReuseNeverIncreasesAndStaysValid(t *testing.T) {
+	// Build one representative flattened arithmetic-heavy program.
+	var sb strings.Builder
+	sb.WriteString(ctqg.Adder("add", 4))
+	sb.WriteString(ctqg.CtrlCopy("ccopy", 4))
+	sb.WriteString(ctqg.CtrlAdder("cadd", "ccopy", "add", 4))
+	sb.WriteString(ctqg.Multiplier("mul", "cadd", 4))
+	sb.WriteString("module main() {\n  qbit a[4];\n  qbit b[4];\n  qbit p[8];\n  qbit cin;\n")
+	sb.WriteString("  mul(a, b, p, cin);\n}\n")
+	prog, err := core.Build(sb.String(), core.PipelineOptions{SkipDecompose: true, FTh: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.EntryModule()
+	before := m.LocalSlots()
+	st, err := reuse.Leaf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LocalsAfter > before {
+		t.Errorf("reuse grew locals: %d -> %d", before, st.LocalsAfter)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("multiplier leaf: %d -> %d ancilla slots (%s)", before, st.LocalsAfter,
+		fmt.Sprintf("saved %d", st.Saved()))
+}

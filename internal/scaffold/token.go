@@ -1,0 +1,90 @@
+// Package scaffold implements the lexical layer of Scaffold-lite, the
+// C-like quantum programming language accepted by the toolflow front end.
+// It is this reproduction's substitute for the Scaffold language the
+// paper's ScaffCC compiler consumes.
+package scaffold
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Ident
+	Int
+	Float
+	// Keywords.
+	KwModule
+	KwQbit
+	KwCbit
+	KwFor
+	KwIf
+	KwElse
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Colon
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	PlusPlus
+	Shl
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "integer", Float: "float",
+	KwModule: "'module'", KwQbit: "'qbit'", KwCbit: "'cbit'",
+	KwFor: "'for'", KwIf: "'if'", KwElse: "'else'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semicolon: "';'",
+	Colon: "':'", Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'",
+	Slash: "'/'", Percent: "'%'", Lt: "'<'", Le: "'<='", Gt: "'>'",
+	Ge: "'>='", EqEq: "'=='", NotEq: "'!='", PlusPlus: "'++'", Shl: "'<<'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"module": KwModule,
+	"qbit":   KwQbit,
+	"cbit":   KwCbit,
+	"for":    KwFor,
+	"if":     KwIf,
+	"else":   KwElse,
+}
+
+// Pos locates a token in the source text.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}

@@ -1,0 +1,100 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+	"github.com/scaffold-go/multisimd/internal/sim"
+)
+
+// randomUnitaryLeaf builds a random circuit from unitary gates only (no
+// measurement), suitable for state-vector comparison.
+func randomUnitaryLeaf(rng *rand.Rand, nOps, nQubits int) *ir.Module {
+	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			m.Gate(qasm.H, rng.Intn(nQubits))
+		case 1:
+			a := rng.Intn(nQubits)
+			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
+			m.Gate(qasm.CNOT, a, b)
+		case 2:
+			m.Gate(qasm.T, rng.Intn(nQubits))
+		case 3:
+			m.Rot(qasm.Rz, rng.Float64()*3, rng.Intn(nQubits))
+		default:
+			a := rng.Intn(nQubits)
+			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
+			m.Gate(qasm.CZ, a, b)
+		}
+	}
+	return m
+}
+
+// runScheduledOrder applies the module's gates in schedule order
+// (timestep by timestep, region by region) to a state.
+func runScheduledOrder(t *testing.T, st *sim.State, s *schedule.Schedule) {
+	t.Helper()
+	for _, step := range s.Steps {
+		for _, ops := range step.Regions {
+			for _, op := range ops {
+				o := &s.M.Ops[op]
+				if err := st.Apply(o.Gate, o.Angle, o.Args...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduledOrderPreservesSemantics is the semantic soundness check
+// for the whole scheduling layer: replaying a circuit in its scheduled
+// order — which reorders and groups commuting operations — must produce
+// the same quantum state as program order, for both schedulers, across
+// machine shapes.
+func TestScheduledOrderPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const nQubits = 5
+	for trial := 0; trial < 25; trial++ {
+		m := randomUnitaryLeaf(rng, 60, nQubits)
+		g, err := dag.Build(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := sim.NewRandomState(nQubits, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progOrder := ref.Clone()
+		if err := progOrder.RunModule(m); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 4} {
+			sr, err := rcp.Schedule(m, g, rcp.Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stR := ref.Clone()
+			runScheduledOrder(t, stR, sr)
+			if !sim.EqualUpToPhase(progOrder, stR, 1e-8) {
+				t.Fatalf("trial %d k=%d: RCP schedule changes semantics", trial, k)
+			}
+			sl, err := lpfs.Schedule(m, g, lpfs.Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stL := ref.Clone()
+			runScheduledOrder(t, stL, sl)
+			if !sim.EqualUpToPhase(progOrder, stL, 1e-8) {
+				t.Fatalf("trial %d k=%d: LPFS schedule changes semantics", trial, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package sema performs static semantic checks on Scaffold-lite ASTs
+// before lowering: module/table consistency, call-graph acyclicity, gate
+// arities, register declarations, and loop-variable scoping. Index range
+// checks that depend on loop-variable values happen during lowering, when
+// control flow is resolved.
+package sema
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/ast"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/scaffold"
+)
+
+// Check validates the program and returns the first error found.
+func Check(prog *ast.Program) error {
+	mods := map[string]*ast.Module{}
+	for _, m := range prog.Modules {
+		if _, dup := mods[m.Name]; dup {
+			return fmt.Errorf("sema: %s: module %q redefined", m.Pos, m.Name)
+		}
+		if _, isGate := qasm.ByName(m.Name); isGate {
+			return fmt.Errorf("sema: %s: module name %q shadows a built-in gate", m.Pos, m.Name)
+		}
+		mods[m.Name] = m
+	}
+	for _, m := range prog.Modules {
+		if err := checkModule(mods, m); err != nil {
+			return err
+		}
+	}
+	return checkAcyclic(mods)
+}
+
+type scope struct {
+	regs     map[string]regInfo
+	loopVars map[string]bool
+}
+
+type regInfo struct {
+	array     bool // declared with a size (even size 1 via qbit x[1])
+	classical bool
+}
+
+func checkModule(mods map[string]*ast.Module, m *ast.Module) error {
+	sc := &scope{regs: map[string]regInfo{}, loopVars: map[string]bool{}}
+	for _, p := range m.Params {
+		if _, dup := sc.regs[p.Name]; dup {
+			return fmt.Errorf("sema: %s: parameter %q redeclared in module %s", p.Pos, p.Name, m.Name)
+		}
+		sc.regs[p.Name] = regInfo{array: p.Size > 1, classical: p.Classical}
+	}
+	return checkBlock(mods, m, sc, m.Body)
+}
+
+func checkBlock(mods map[string]*ast.Module, m *ast.Module, sc *scope, b *ast.Block) error {
+	declared := []string{}
+	defer func() {
+		for _, name := range declared {
+			delete(sc.regs, name)
+		}
+	}()
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ast.DeclStmt:
+			if _, dup := sc.regs[st.Name]; dup {
+				return fmt.Errorf("sema: %s: register %q redeclared", st.Pos, st.Name)
+			}
+			if sc.loopVars[st.Name] {
+				return fmt.Errorf("sema: %s: register %q shadows a loop variable", st.Pos, st.Name)
+			}
+			if st.Size != nil {
+				if err := checkExpr(sc, st.Size, st.Pos); err != nil {
+					return err
+				}
+			}
+			sc.regs[st.Name] = regInfo{array: st.Size != nil, classical: st.Classical}
+			declared = append(declared, st.Name)
+		case *ast.GateStmt:
+			if err := checkGate(sc, st); err != nil {
+				return err
+			}
+		case *ast.CallStmt:
+			callee, ok := mods[st.Callee]
+			if !ok {
+				return fmt.Errorf("sema: %s: call to undefined module %q", st.Pos, st.Callee)
+			}
+			if len(st.Args) != len(callee.Params) {
+				return fmt.Errorf("sema: %s: call to %s passes %d args, wants %d",
+					st.Pos, st.Callee, len(st.Args), len(callee.Params))
+			}
+			for i := range st.Args {
+				if err := checkQubitExpr(sc, &st.Args[i]); err != nil {
+					return err
+				}
+			}
+		case *ast.ForStmt:
+			if err := checkExpr(sc, st.Lo, st.Pos); err != nil {
+				return err
+			}
+			if err := checkExpr(sc, st.Hi, st.Pos); err != nil {
+				return err
+			}
+			if sc.loopVars[st.Var] {
+				return fmt.Errorf("sema: %s: loop variable %q shadows an outer loop variable", st.Pos, st.Var)
+			}
+			if _, isReg := sc.regs[st.Var]; isReg {
+				return fmt.Errorf("sema: %s: loop variable %q shadows a register", st.Pos, st.Var)
+			}
+			sc.loopVars[st.Var] = true
+			err := checkBlock(mods, m, sc, st.Body)
+			delete(sc.loopVars, st.Var)
+			if err != nil {
+				return err
+			}
+		case *ast.IfStmt:
+			if err := checkExpr(sc, st.Cond.L, st.Pos); err != nil {
+				return err
+			}
+			if err := checkExpr(sc, st.Cond.R, st.Pos); err != nil {
+				return err
+			}
+			if err := checkBlock(mods, m, sc, st.Then); err != nil {
+				return err
+			}
+			if st.Else != nil {
+				if err := checkBlock(mods, m, sc, st.Else); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("sema: unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func checkGate(sc *scope, st *ast.GateStmt) error {
+	op, ok := qasm.ByName(st.Name)
+	if !ok {
+		return fmt.Errorf("sema: %s: unknown gate %q", st.Pos, st.Name)
+	}
+	if len(st.Args) != op.Arity() {
+		return fmt.Errorf("sema: %s: gate %s wants %d qubit operands, has %d",
+			st.Pos, st.Name, op.Arity(), len(st.Args))
+	}
+	if op.IsRotation() != (st.Angle != nil) {
+		return fmt.Errorf("sema: %s: gate %s angle mismatch", st.Pos, st.Name)
+	}
+	if st.Angle != nil {
+		if err := checkAngle(sc, st.Angle, st.Pos); err != nil {
+			return err
+		}
+	}
+	for i := range st.Args {
+		q := &st.Args[i]
+		if q.IsSlice() {
+			return fmt.Errorf("sema: %s: gate %s operand %s cannot be a slice", st.Pos, st.Name, q.Name)
+		}
+		if err := checkQubitExpr(sc, q); err != nil {
+			return err
+		}
+		if info := sc.regs[q.Name]; info.classical && op != qasm.MeasZ {
+			return fmt.Errorf("sema: %s: gate %s applied to classical register %q", st.Pos, st.Name, q.Name)
+		}
+	}
+	return nil
+}
+
+func checkQubitExpr(sc *scope, q *ast.QubitExpr) error {
+	if _, ok := sc.regs[q.Name]; !ok {
+		return fmt.Errorf("sema: %s: undeclared register %q", q.Pos, q.Name)
+	}
+	if q.Index != nil {
+		if err := checkExpr(sc, q.Index, q.Pos); err != nil {
+			return err
+		}
+	}
+	if q.SliceHi != nil {
+		if err := checkExpr(sc, q.SliceHi, q.Pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkExpr validates an integer expression: variables must be loop
+// variables in scope and no float literals may appear.
+func checkExpr(sc *scope, e ast.Expr, pos scaffold.Pos) error {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		return nil
+	case *ast.FloatLit:
+		return fmt.Errorf("sema: %s: float literal in integer expression", ex.Pos)
+	case *ast.VarRef:
+		if !sc.loopVars[ex.Name] {
+			return fmt.Errorf("sema: %s: unknown variable %q (only loop variables may appear in expressions)", ex.Pos, ex.Name)
+		}
+		return nil
+	case *ast.NegExpr:
+		return checkExpr(sc, ex.E, pos)
+	case *ast.BinExpr:
+		if err := checkExpr(sc, ex.L, ex.Pos); err != nil {
+			return err
+		}
+		return checkExpr(sc, ex.R, ex.Pos)
+	}
+	return fmt.Errorf("sema: %s: unknown expression type %T", pos, e)
+}
+
+// checkAngle validates an angle expression: float literals allowed.
+func checkAngle(sc *scope, e ast.Expr, pos scaffold.Pos) error {
+	switch ex := e.(type) {
+	case *ast.IntLit, *ast.FloatLit:
+		return nil
+	case *ast.VarRef:
+		if !sc.loopVars[ex.Name] {
+			return fmt.Errorf("sema: %s: unknown variable %q in angle", ex.Pos, ex.Name)
+		}
+		return nil
+	case *ast.NegExpr:
+		return checkAngle(sc, ex.E, pos)
+	case *ast.BinExpr:
+		if err := checkAngle(sc, ex.L, ex.Pos); err != nil {
+			return err
+		}
+		return checkAngle(sc, ex.R, ex.Pos)
+	}
+	return fmt.Errorf("sema: %s: unknown angle expression type %T", pos, e)
+}
+
+func checkAcyclic(mods map[string]*ast.Module) error {
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := map[string]int{}
+	var visit func(name string, from scaffold.Pos) error
+	visit = func(name string, from scaffold.Pos) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("sema: %s: recursive call to module %q (quantum programs must have classical, acyclic call graphs)", from, name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		var walk func(b *ast.Block) error
+		walk = func(b *ast.Block) error {
+			for _, s := range b.Stmts {
+				switch st := s.(type) {
+				case *ast.CallStmt:
+					if err := visit(st.Callee, st.Pos); err != nil {
+						return err
+					}
+				case *ast.ForStmt:
+					if err := walk(st.Body); err != nil {
+						return err
+					}
+				case *ast.IfStmt:
+					if err := walk(st.Then); err != nil {
+						return err
+					}
+					if st.Else != nil {
+						if err := walk(st.Else); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}
+		if err := walk(mods[name].Body); err != nil {
+			return err
+		}
+		color[name] = black
+		return nil
+	}
+	for name, m := range mods {
+		if err := visit(name, m.Pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}

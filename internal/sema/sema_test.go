@@ -1,0 +1,138 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/parser"
+	"github.com/scaffold-go/multisimd/internal/sema"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sema.Check(p)
+}
+
+func TestCheckAccepts(t *testing.T) {
+	for name, src := range map[string]string{
+		"basic": `
+module f(qbit a, qbit b[2]) { CNOT(a, b[0]); }
+module main() { qbit q[3]; f(q[0], q[1:3]); }`,
+		"loops and ifs": `
+module main() {
+  qbit q[4];
+  for (i = 0; i < 4; i++) {
+    if (i < 2) { H(q[i]); } else { X(q[i]); }
+  }
+}`,
+		"classical params": `
+module m(qbit q, cbit c) { MeasZ(q); }
+module main() { qbit q; cbit c; m(q, c); }`,
+		"shadow register in block": `
+module main() {
+  qbit q;
+  for (i = 0; i < 2; i++) { qbit t; CNOT(q, t); }
+}`,
+	} {
+		if err := check(t, src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	cases := map[string]string{
+		"redefined module":      `module m() { } module m() { }`,
+		"gate-name module":      `module CNOT(qbit a, qbit b) { }`,
+		"unknown callee":        `module main() { qbit q; nothere(q); }`,
+		"arg count":             `module f(qbit a, qbit b) { CNOT(a,b); } module main() { qbit q; f(q); }`,
+		"undeclared register":   `module main() { H(q); }`,
+		"redeclared register":   `module main() { qbit q; qbit q; H(q); }`,
+		"unknown gate arity":    `module main() { qbit q[2]; CNOT(q[0]); }`,
+		"slice as gate operand": `module main() { qbit q[4]; H(q[0:2]); }`,
+		"gate on classical":     `module main() { cbit c; H(c); }`,
+		"loop var shadows":      `module main() { qbit q[4]; for (i = 0; i < 2; i++) { for (i = 0; i < 2; i++) { H(q[i]); } } }`,
+		"loop var is register":  `module main() { qbit i; for (i = 0; i < 2; i++) { H(i); } }`,
+		"recursion":             `module a() { b(); } module b() { a(); } module main() { a(); }`,
+		"self recursion":        `module main() { main(); }`,
+		"free variable":         `module main() { qbit q[4]; H(q[n]); }`,
+		"float in index":        `module main() { qbit q[4]; H(q[1.5]); }`,
+	}
+	for name, src := range cases {
+		if err := check(t, src); err == nil {
+			t.Errorf("%s: accepted\n%s", name, src)
+		} else if !strings.HasPrefix(err.Error(), "sema:") {
+			t.Errorf("%s: error not from sema: %v", name, err)
+		}
+	}
+}
+
+func TestBlockScoping(t *testing.T) {
+	// A register declared inside a loop body is out of scope afterwards.
+	err := check(t, `
+module main() {
+  qbit q;
+  for (i = 0; i < 2; i++) { qbit t; CNOT(q, t); }
+  H(t);
+}`)
+	if err == nil {
+		t.Error("block-scoped register leaked")
+	}
+}
+
+func TestCheckCondExpressions(t *testing.T) {
+	if err := check(t, `
+module main() {
+  qbit q;
+  if (1.5 < 2) { H(q); }
+}`); err == nil {
+		t.Error("float in condition accepted")
+	}
+	if err := check(t, `
+module main() {
+  qbit q;
+  if (x < 2) { H(q); }
+}`); err == nil {
+		t.Error("free variable in condition accepted")
+	}
+}
+
+func TestCheckAngleScoping(t *testing.T) {
+	if err := check(t, `
+module main() {
+  qbit q;
+  Rz(q, theta);
+}`); err == nil {
+		t.Error("free variable in angle accepted")
+	}
+	if err := check(t, `
+module main() {
+  qbit q;
+  for (i = 0; i < 3; i++) { Rz(q, i * 0.5 + 1.0/4); }
+}`); err != nil {
+		t.Errorf("valid angle arithmetic rejected: %v", err)
+	}
+}
+
+func TestCheckClassicalArgBinding(t *testing.T) {
+	// Binding quantum register to classical parameter and vice versa is
+	// caught during lowering; sema only checks arity — this documents
+	// the division of labor.
+	if err := check(t, `
+module m(qbit q, cbit c) { MeasZ(q); }
+module main() { qbit a; cbit b; m(a, b); }`); err != nil {
+		t.Errorf("valid classical binding rejected: %v", err)
+	}
+}
+
+func TestCheckSliceInCall(t *testing.T) {
+	if err := check(t, `
+module f(qbit x[2]) { H(x[0]); }
+module main() { qbit q[8]; f(q[2:4]); }`); err != nil {
+		t.Errorf("slice call rejected: %v", err)
+	}
+}

@@ -1,0 +1,401 @@
+package sim_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/sim"
+)
+
+func newState(t *testing.T, n int) *sim.State {
+	t.Helper()
+	s, err := sim.NewState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func apply(t *testing.T, s *sim.State, op qasm.Opcode, angle float64, qs ...int) {
+	t.Helper()
+	if err := s.Apply(op, angle, qs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	s := newState(t, 2)
+	apply(t, s, qasm.X, 0, 0)
+	if cmplx.Abs(s.Amplitude(1)-1) > 1e-12 {
+		t.Errorf("X|00> != |01>: %v", s.Amplitude(1))
+	}
+	apply(t, s, qasm.X, 0, 1)
+	if cmplx.Abs(s.Amplitude(3)-1) > 1e-12 {
+		t.Errorf("amplitude %v", s.Amplitude(3))
+	}
+}
+
+func TestHadamardInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := sim.NewRandomState(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := s.Clone()
+	apply(t, s, qasm.H, 0, 1)
+	apply(t, s, qasm.H, 0, 1)
+	if !sim.EqualUpToPhase(orig, s, 1e-10) {
+		t.Error("H^2 != I")
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	for in := uint64(0); in < 4; in++ {
+		s, err := sim.NewBasisState(2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply(t, s, qasm.CNOT, 0, 0, 1) // control qubit 0, target qubit 1
+		want := in
+		if in&1 != 0 {
+			want ^= 2
+		}
+		if cmplx.Abs(s.Amplitude(want)-1) > 1e-12 {
+			t.Errorf("CNOT|%02b>: expected |%02b>", in, want)
+		}
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		s, err := sim.NewBasisState(3, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply(t, s, qasm.Toffoli, 0, 0, 1, 2)
+		want := in
+		if in&3 == 3 {
+			want ^= 4
+		}
+		if cmplx.Abs(s.Amplitude(want)-1) > 1e-12 {
+			t.Errorf("Toffoli|%03b>: expected |%03b>", in, want)
+		}
+	}
+}
+
+func TestFredkinTruthTable(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		s, err := sim.NewBasisState(3, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply(t, s, qasm.Fredkin, 0, 0, 1, 2)
+		want := in
+		if in&1 != 0 {
+			b1, b2 := (in>>1)&1, (in>>2)&1
+			want = in&1 | b2<<1 | b1<<2
+		}
+		if cmplx.Abs(s.Amplitude(want)-1) > 1e-12 {
+			t.Errorf("Fredkin|%03b>: expected |%03b>", in, want)
+		}
+	}
+}
+
+func TestSwapEqualsThreeCNOTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := sim.NewRandomState(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	apply(t, a, qasm.Swap, 0, 0, 2)
+	apply(t, b, qasm.CNOT, 0, 0, 2)
+	apply(t, b, qasm.CNOT, 0, 2, 0)
+	apply(t, b, qasm.CNOT, 0, 0, 2)
+	if !sim.EqualUpToPhase(a, b, 1e-10) {
+		t.Error("Swap != CNOT^3")
+	}
+}
+
+func TestSTRelations(t *testing.T) {
+	// T^2 = S, S^2 = Z on random states.
+	rng := rand.New(rand.NewSource(3))
+	a, err := sim.NewRandomState(2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	apply(t, a, qasm.T, 0, 0)
+	apply(t, a, qasm.T, 0, 0)
+	apply(t, b, qasm.S, 0, 0)
+	if !sim.EqualUpToPhase(a, b, 1e-10) {
+		t.Error("T^2 != S")
+	}
+	c, err := sim.NewRandomState(2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Clone()
+	apply(t, c, qasm.S, 0, 0)
+	apply(t, c, qasm.S, 0, 0)
+	apply(t, d, qasm.Z, 0, 0)
+	if !sim.EqualUpToPhase(c, d, 1e-10) {
+		t.Error("S^2 != Z")
+	}
+}
+
+func TestRzComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, err := sim.NewRandomState(1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	apply(t, a, qasm.Rz, 0.4, 0)
+	apply(t, a, qasm.Rz, 0.35, 0)
+	apply(t, b, qasm.Rz, 0.75, 0)
+	if !sim.EqualUpToPhase(a, b, 1e-10) {
+		t.Error("Rz(a)Rz(b) != Rz(a+b)")
+	}
+}
+
+func TestCRzControlled(t *testing.T) {
+	// Control |0>: CRz acts trivially.
+	s := newState(t, 2)
+	apply(t, s, qasm.H, 0, 1)
+	before := s.Clone()
+	apply(t, s, qasm.CRz, 1.1, 0, 1)
+	if !sim.EqualUpToPhase(before, s, 1e-10) {
+		t.Error("CRz with control |0> changed the state")
+	}
+	// Control |1>: acts as Rz on target.
+	s2 := newState(t, 2)
+	apply(t, s2, qasm.X, 0, 0)
+	apply(t, s2, qasm.H, 0, 1)
+	want := s2.Clone()
+	apply(t, s2, qasm.CRz, 1.1, 0, 1)
+	apply(t, want, qasm.Rz, 1.1, 1)
+	if !sim.EqualUpToPhase(want, s2, 1e-10) {
+		t.Error("CRz with control |1> != Rz on target")
+	}
+}
+
+func TestProbAndCollapse(t *testing.T) {
+	s := newState(t, 1)
+	apply(t, s, qasm.H, 0, 0)
+	if p := s.Prob0(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(0) = %g", p)
+	}
+	if err := s.Collapse(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(s.Amplitude(1))-1 > 1e-12 || s.Prob0(0) > 1e-12 {
+		t.Error("collapse to |1> failed")
+	}
+	if err := s.Collapse(0, 0); err == nil {
+		t.Error("zero-probability collapse accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newState(t, 2)
+	apply(t, s, qasm.X, 0, 0)
+	if err := s.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(s.Amplitude(0)-1) > 1e-12 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRunProgramWithCallsAndAncilla(t *testing.T) {
+	p := ir.NewProgram("main")
+	leaf := ir.NewModule("leaf", []ir.Reg{{Name: "x", Size: 1}}, []ir.Reg{{Name: "anc", Size: 1}})
+	// anc ^= x twice: anc returns clean, x untouched.
+	leaf.Gate(qasm.CNOT, 0, 1).Gate(qasm.CNOT, 0, 1)
+	p.Add(leaf)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.Gate(qasm.X, 0)
+	main.Call("leaf", ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := newState(t, 2) // 1 program qubit + 1 ancilla
+	if err := s.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(s.Amplitude(1)-1) > 1e-12 {
+		t.Errorf("expected |01>, amplitudes: %v %v", s.Amplitude(1), s.Amplitude(3))
+	}
+}
+
+func TestRunProgramAncillaExhaustion(t *testing.T) {
+	p := ir.NewProgram("main")
+	leaf := ir.NewModule("leaf", []ir.Reg{{Name: "x", Size: 1}}, []ir.Reg{{Name: "anc", Size: 5}})
+	leaf.Gate(qasm.CNOT, 0, 1)
+	p.Add(leaf)
+	main := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 1}})
+	main.Call("leaf", ir.Range{Start: 0, Len: 1})
+	p.Add(main)
+	s := newState(t, 2) // too small for 5 ancillae
+	if err := s.RunProgram(p); err == nil {
+		t.Error("ancilla exhaustion not reported")
+	}
+}
+
+func TestNormPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := sim.NewRandomState(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []qasm.Opcode{qasm.H, qasm.T, qasm.CNOT, qasm.Toffoli, qasm.Rz, qasm.X, qasm.CRz, qasm.Swap}
+	for i := 0; i < 200; i++ {
+		op := ops[rng.Intn(len(ops))]
+		qs := rng.Perm(4)[:op.Arity()]
+		if err := s.Apply(op, rng.Float64(), qs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var norm float64
+	for i := uint64(0); i < 16; i++ {
+		norm += math.Pow(cmplx.Abs(s.Amplitude(i)), 2)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("norm drifted to %g", norm)
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := newState(t, 2)
+	b := a.Clone()
+	f, err := sim.Fidelity(a, b)
+	if err != nil || math.Abs(f-1) > 1e-12 {
+		t.Errorf("identical fidelity %g (%v)", f, err)
+	}
+	apply(t, b, qasm.X, 0, 0)
+	f, err = sim.Fidelity(a, b)
+	if err != nil || f > 1e-12 {
+		t.Errorf("orthogonal fidelity %g (%v)", f, err)
+	}
+}
+
+func TestOperandValidation(t *testing.T) {
+	s := newState(t, 2)
+	if err := s.Apply(qasm.CNOT, 0, 0, 0); err == nil {
+		t.Error("repeated operand accepted (no-cloning)")
+	}
+	if err := s.Apply(qasm.H, 0, 5); err == nil {
+		t.Error("out-of-range operand accepted")
+	}
+	if err := s.Apply(qasm.CNOT, 0, 0); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := sim.NewState(0); err == nil {
+		t.Error("accepted 0 qubits")
+	}
+	if _, err := sim.NewState(sim.MaxQubits + 1); err == nil {
+		t.Error("accepted too many qubits")
+	}
+	s, err := sim.NewState(sim.MaxQubits - 10)
+	if err != nil || s.N() != sim.MaxQubits-10 {
+		t.Errorf("mid-size state: %v", err)
+	}
+}
+
+func TestNewBasisState(t *testing.T) {
+	s, err := sim.NewBasisState(3, 0b101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(s.Amplitude(0b101)-1) > 1e-12 {
+		t.Error("wrong basis amplitude")
+	}
+	if _, err := sim.NewBasisState(2, 4); err == nil {
+		t.Error("out-of-range basis accepted")
+	}
+}
+
+func TestMeasZCollapsesDeterministically(t *testing.T) {
+	s := newState(t, 1)
+	apply(t, s, qasm.Ry, 2.6, 0) // heavily weighted toward |1>
+	apply(t, s, qasm.MeasZ, 0, 0)
+	if cmplx.Abs(s.Amplitude(1))-1 > 1e-9 {
+		t.Error("MeasZ did not collapse to the likelier outcome")
+	}
+	s2 := newState(t, 1)
+	apply(t, s2, qasm.MeasZ, 0, 0) // |0> stays |0>
+	if cmplx.Abs(s2.Amplitude(0)-1) > 1e-12 {
+		t.Error("MeasZ disturbed |0>")
+	}
+}
+
+func TestPrepZResets(t *testing.T) {
+	s := newState(t, 2)
+	apply(t, s, qasm.X, 0, 1)
+	apply(t, s, qasm.PrepZ, 0, 1)
+	if cmplx.Abs(s.Amplitude(0)-1) > 1e-12 {
+		t.Error("PrepZ failed to reset")
+	}
+}
+
+func TestRunModuleMaterializedCounts(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 1}})
+	m.Ops = append(m.Ops, ir.Op{Kind: ir.GateOp, Gate: qasm.X, Args: []int{0}, Count: 3})
+	s := newState(t, 1)
+	if err := s.RunModule(m); err != nil {
+		t.Fatal(err)
+	}
+	// X applied 3 times = X once.
+	if cmplx.Abs(s.Amplitude(1)-1) > 1e-12 {
+		t.Error("counted gate misapplied")
+	}
+	bad := ir.NewModule("bad", nil, []ir.Reg{{Name: "q", Size: 1}})
+	bad.Call("other", ir.Range{Start: 0, Len: 1})
+	if err := s.RunModule(bad); err == nil {
+		t.Error("RunModule accepted a call op")
+	}
+}
+
+func TestEqualUpToPhaseNegatives(t *testing.T) {
+	a := newState(t, 2)
+	b := newState(t, 3)
+	if sim.EqualUpToPhase(a, b, 1e-9) {
+		t.Error("different sizes compared equal")
+	}
+	c := newState(t, 2)
+	apply(t, c, qasm.H, 0, 0)
+	if sim.EqualUpToPhase(a, c, 1e-9) {
+		t.Error("different states compared equal")
+	}
+	// Global phase must be tolerated.
+	d := a.Clone()
+	apply(t, d, qasm.X, 0, 0)
+	apply(t, d, qasm.Z, 0, 0)
+	apply(t, d, qasm.X, 0, 0) // XZX = -Z up to phase; on |00> gives phase only
+	if !sim.EqualUpToPhase(a, d, 1e-9) {
+		t.Error("pure global phase rejected")
+	}
+}
+
+func TestRunProgramRejectsParams(t *testing.T) {
+	p := ir.NewProgram("main")
+	m := ir.NewModule("main", []ir.Reg{{Name: "x", Size: 1}}, nil)
+	m.Gate(qasm.H, 0)
+	p.Add(m)
+	s := newState(t, 1)
+	if err := s.RunProgram(p); err == nil {
+		t.Error("entry with parameters accepted")
+	}
+	if err := s.RunProgram(ir.NewProgram("ghost")); err == nil {
+		t.Error("missing entry accepted")
+	}
+}

@@ -17,6 +17,7 @@ package multisimd
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -172,7 +173,7 @@ func BenchmarkFig9ShorsK(b *testing.B) {
 		}
 	}
 	for _, r := range rows {
-		b.ReportMetric(r.Speedup, metricName(r.Scheduler.String(), fmt.Sprintf("k%d", r.K), "x"))
+		b.ReportMetric(r.Speedup, metricName(r.Scheduler.Name(), fmt.Sprintf("k%d", r.K), "x"))
 	}
 }
 
@@ -217,6 +218,59 @@ func BenchmarkTable2Rotations(b *testing.B) {
 	for _, k := range res.SortedKs() {
 		b.ReportMetric(float64(res.StepsAtK[k]), fmt.Sprintf("steps_k%d", k))
 	}
+}
+
+// --- Evaluation-engine benchmarks: worker pool and cache. ---
+
+// engineSweep runs one experiment sweep with the given worker count and
+// cache temperature. Cold runs leave Workload.Cache nil, the seed
+// behavior (each Evaluate dedupes internally but shares nothing); warm
+// runs pre-populate one shared cache before the timer starts.
+func engineSweep(b *testing.B, workers int, warm bool, sweep func([]core.Workload) error) {
+	flat, _ := workloads(b)
+	ws := make([]core.Workload, len(flat))
+	copy(ws, flat)
+	for j := range ws {
+		ws[j].Workers = workers
+	}
+	if warm {
+		cache := core.NewEvalCache()
+		for j := range ws {
+			ws[j].Cache = cache
+		}
+		if err := sweep(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkEngineFig6 measures the fig6 sweep (both schedulers, k=2,4,
+// all benchmarks) serial vs 8-worker pool vs warm-cache. The pool's
+// wall-clock win scales with available cores (workers_8 on a single-CPU
+// host measures only the pool's overhead — GOMAXPROCS is reported so
+// results read correctly either way); the cache win is core-independent.
+func BenchmarkEngineFig6(b *testing.B) {
+	sweep := func(ws []core.Workload) error { _, err := core.Fig6(ws); return err }
+	b.Run("serial_cold", func(b *testing.B) { engineSweep(b, 1, false, sweep) })
+	b.Run("workers8_cold", func(b *testing.B) { engineSweep(b, 8, false, sweep) })
+	b.Run("workers8_warm", func(b *testing.B) { engineSweep(b, 8, true, sweep) })
+}
+
+// BenchmarkEngineFig8 measures the fig8 local-memory sweep (8 configs
+// per benchmark sharing 2 schedule sets) serial vs 8-worker pool vs
+// warm-cache.
+func BenchmarkEngineFig8(b *testing.B) {
+	sweep := func(ws []core.Workload) error { _, err := core.Fig8(ws); return err }
+	b.Run("serial_cold", func(b *testing.B) { engineSweep(b, 1, false, sweep) })
+	b.Run("workers8_cold", func(b *testing.B) { engineSweep(b, 8, false, sweep) })
+	b.Run("workers8_warm", func(b *testing.B) { engineSweep(b, 8, true, sweep) })
 }
 
 // --- Toolflow micro-benchmarks: the compiler itself under load. ---

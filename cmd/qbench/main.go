@@ -31,7 +31,6 @@ import (
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
-	"github.com/scaffold-go/multisimd/internal/lpfs"
 	"github.com/scaffold-go/multisimd/internal/numa"
 	"github.com/scaffold-go/multisimd/internal/resource"
 )
@@ -40,15 +39,21 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment to run: fig5, fig6, fig7, fig8, fig9, table1, table2, all")
 	scale := flag.String("scale", "small", "workload scale for fig5/table1: small or paper")
 	fth := flag.Int64("fth", 0, "flattening threshold override (0 = scale default)")
+	schedName := flag.String("sched", "lpfs", "scheduler for the extended experiments (registered: rcp, lpfs)")
+	workers := flag.Int("workers", 0, "evaluation concurrency (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *fth); err != nil {
+	if err := run(*exp, *scale, *fth, *schedName, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scale string, fth int64) error {
+func run(exp, scale string, fth int64, schedName string, workers int) error {
+	sched, err := core.SchedulerByName(schedName)
+	if err != nil {
+		return err
+	}
 	smallFTh := int64(2000)
 	if fth != 0 {
 		smallFTh = fth
@@ -56,7 +61,7 @@ func run(exp, scale string, fth int64) error {
 	switch exp {
 	case "all":
 		for _, e := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"} {
-			if err := run(e, scale, fth); err != nil {
+			if err := run(e, scale, fth, schedName, workers); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -64,22 +69,22 @@ func run(exp, scale string, fth int64) error {
 		return nil
 	case "extended":
 		for _, e := range []string{"sensd", "sensepr", "ablation", "fth", "numa"} {
-			if err := run(e, scale, fth); err != nil {
+			if err := run(e, scale, fth, schedName, workers); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 		return nil
 	case "sensd":
-		ws, err := workloads(smallFTh, true)
+		ws, err := workloads(smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
-		rows, err := core.SensD(ws, core.LPFS, 4, []int{2, 4, 8, 16, 32, 0})
+		rows, err := core.SensD(ws, sched, 4, []int{2, 4, 8, 16, 32, 0})
 		if err != nil {
 			return err
 		}
-		fmt.Println("Sensitivity to d (§5.4): LPFS, k=4, unlimited local memory, speedup vs naive")
+		fmt.Printf("Sensitivity to d (§5.4): %s, k=4, unlimited local memory, speedup vs naive\n", sched.Name())
 		fmt.Printf("%-10s", "benchmark")
 		for _, d := range []string{"d=2", "d=4", "d=8", "d=16", "d=32", "d=inf"} {
 			fmt.Printf(" %8s", d)
@@ -94,16 +99,16 @@ func run(exp, scale string, fth int64) error {
 		}
 		return nil
 	case "sensepr":
-		ws, err := workloads(smallFTh, true)
+		ws, err := workloads(smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
 		bws := []int{1, 2, 4, 8, 0}
-		rows, err := core.SensEPR(ws, core.LPFS, 4, bws)
+		rows, err := core.SensEPR(ws, sched, 4, bws)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Sensitivity to EPR distribution bandwidth (§2.3): LPFS, k=4, speedup vs naive")
+		fmt.Printf("Sensitivity to EPR distribution bandwidth (§2.3): %s, k=4, speedup vs naive\n", sched.Name())
 		fmt.Printf("%-10s", "benchmark")
 		for _, bw := range []string{"bw=1", "bw=2", "bw=4", "bw=8", "bw=inf"} {
 			fmt.Printf(" %8s", bw)
@@ -118,7 +123,7 @@ func run(exp, scale string, fth int64) error {
 		}
 		return nil
 	case "ablation":
-		ws, err := workloads(smallFTh, true)
+		ws, err := workloads(smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
@@ -132,7 +137,7 @@ func run(exp, scale string, fth int64) error {
 			return err
 		}
 		printAblation("RCP weight ablation (k=4, unlimited local memory, speedup vs naive)", rc, 4)
-		cm, err := core.AblationComm(ws, core.LPFS, 4)
+		cm, err := core.AblationComm(ws, sched, 4)
 		if err != nil {
 			return err
 		}
@@ -144,22 +149,22 @@ func run(exp, scale string, fth int64) error {
 			srcs = append(srcs, core.SourceWorkload{Name: b.Name, Source: b.Source, Pipeline: b.Pipeline})
 		}
 		fths := []int64{100, 500, 2000, 50000}
-		rows, err := core.SweepFTh(srcs, core.LPFS, 4, fths)
+		rows, err := core.SweepFTh(srcs, sched, 4, fths)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Flattening threshold sweep (§3.1.1): LPFS, k=4, speedup vs naive")
+		fmt.Printf("Flattening threshold sweep (§3.1.1): %s, k=4, speedup vs naive\n", sched.Name())
 		fmt.Printf("%-10s %-9s %8s %8s %8s %10s\n", "benchmark", "FTh", "modules", "leaves", "speedup", "analysis")
 		for _, r := range rows {
 			fmt.Printf("%-10s %-9d %8d %8d %8.2f %8dms\n", r.Name, r.FTh, r.Modules, r.Leaves, r.Speedup, r.AnalysisMS)
 		}
 		return nil
 	case "numa":
-		return numaExperiment(smallFTh)
+		return numaExperiment(smallFTh, sched, workers)
 	case "fig5":
 		return fig5(scale, fth)
 	case "fig6":
-		ws, err := workloads(smallFTh, true)
+		ws, err := workloads(smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
@@ -175,7 +180,7 @@ func run(exp, scale string, fth int64) error {
 		}
 		return nil
 	case "fig7":
-		ws, err := workloads(smallFTh, true)
+		ws, err := workloads(smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
@@ -191,7 +196,7 @@ func run(exp, scale string, fth int64) error {
 		}
 		return nil
 	case "fig8":
-		ws, err := workloads(smallFTh, true)
+		ws, err := workloads(smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
@@ -213,7 +218,7 @@ func run(exp, scale string, fth int64) error {
 		// the k-sensitivity of §5.4 comes from the inverse QFT's many
 		// distinct-angle rotation blackboxes.
 		b := bench.ShorsSized(4, 16)
-		w, err := buildWorkload(b, smallFTh, true)
+		w, err := buildWorkload(b, smallFTh, true, workers)
 		if err != nil {
 			return err
 		}
@@ -261,12 +266,12 @@ func run(exp, scale string, fth int64) error {
 // numaExperiment compares qubit-to-bank mapping policies on each
 // benchmark's largest leaf (the paper's §2.3 future-work direction:
 // distributed global memory needs a mapping algorithm).
-func numaExperiment(fth int64) error {
-	ws, err := workloads(fth, true)
+func numaExperiment(fth int64, sched core.Scheduler, workers int) error {
+	ws, err := workloads(fth, true, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Distributed global memory (§2.3 future work): largest leaf, LPFS k=4, 2 banks")
+	fmt.Printf("Distributed global memory (§2.3 future work): largest leaf, %s k=4, 2 banks\n", sched.Name())
 	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n",
 		"benchmark", "teleports", "rr far%", "affinity far%", "rr cycles", "aff cycles")
 	for _, w := range ws {
@@ -295,20 +300,20 @@ func numaExperiment(fth int64) error {
 		if err != nil {
 			return err
 		}
-		sched, err := lpfs.Schedule(mat, g, lpfs.Options{K: 4})
+		fine, err := sched.Schedule(mat, g, 4, 0)
 		if err != nil {
 			return err
 		}
-		res, err := comm.Analyze(sched, comm.Options{})
+		res, err := comm.Analyze(fine, comm.Options{})
 		if err != nil {
 			return err
 		}
 		cfg := numa.Config{Banks: 2}
-		rr, err := numa.Analyze(sched, res, numa.RoundRobin(mat.TotalSlots(), 2), cfg)
+		rr, err := numa.Analyze(fine, res, numa.RoundRobin(mat.TotalSlots(), 2), cfg)
 		if err != nil {
 			return err
 		}
-		aff, err := numa.Analyze(sched, res, numa.AffinityMoves(sched, res, 2), cfg)
+		aff, err := numa.Analyze(fine, res, numa.AffinityMoves(fine, res, 2), cfg)
 		if err != nil {
 			return err
 		}
@@ -376,15 +381,27 @@ func fig5(scale string, fth int64) error {
 	return nil
 }
 
-func workloads(fth int64, flatten bool) ([]core.Workload, error) {
+// workloadMemo holds built workloads — and, crucially, their warm
+// EvalCaches — across the experiments of one qbench run, so -experiment
+// all compiles each benchmark once and later figures reuse the leaf
+// characterizations of earlier ones (fig7 re-runs fig6's evaluations;
+// fig8 only re-runs comm.Analyze over fig6's schedules).
+var workloadMemo = map[string][]core.Workload{}
+
+func workloads(fth int64, flatten bool, workers int) ([]core.Workload, error) {
+	key := fmt.Sprintf("%d|%t|%d", fth, flatten, workers)
+	if ws, ok := workloadMemo[key]; ok {
+		return ws, nil
+	}
 	var ws []core.Workload
 	for _, b := range bench.AllSmall() {
-		w, err := buildWorkload(b, fth, flatten)
+		w, err := buildWorkload(b, fth, flatten, workers)
 		if err != nil {
 			return nil, err
 		}
 		ws = append(ws, w)
 	}
+	workloadMemo[key] = ws
 	return ws, nil
 }
 
@@ -395,7 +412,7 @@ func scaleWorkloads(scale string, fth int64, flatten bool) ([]core.Workload, err
 	}
 	var ws []core.Workload
 	for _, b := range set {
-		w, err := buildWorkload(b, fth, flatten)
+		w, err := buildWorkload(b, fth, flatten, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -404,7 +421,7 @@ func scaleWorkloads(scale string, fth int64, flatten bool) ([]core.Workload, err
 	return ws, nil
 }
 
-func buildWorkload(b bench.Benchmark, fth int64, flatten bool) (core.Workload, error) {
+func buildWorkload(b bench.Benchmark, fth int64, flatten bool, workers int) (core.Workload, error) {
 	opts := b.Pipeline
 	if fth != 0 {
 		opts.FTh = fth
@@ -414,5 +431,8 @@ func buildWorkload(b bench.Benchmark, fth int64, flatten bool) (core.Workload, e
 	if err != nil {
 		return core.Workload{}, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	return core.Workload{Name: b.Name, Params: b.Params, Prog: p}, nil
+	return core.Workload{
+		Name: b.Name, Params: b.Params, Prog: p,
+		Cache: core.NewEvalCache(), Workers: workers,
+	}, nil
 }

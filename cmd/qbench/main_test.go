@@ -12,7 +12,7 @@ func TestExperimentsRun(t *testing.T) {
 	for _, exp := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "sensd", "sensepr", "ablation", "numa"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, "small", 0); err != nil {
+			if err := run(exp, "small", 0, "lpfs", 0); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -20,7 +20,7 @@ func TestExperimentsRun(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("fig99", "small", 0); err == nil {
+	if err := run("fig99", "small", 0, "lpfs", 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

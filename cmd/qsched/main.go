@@ -31,9 +31,6 @@ import (
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/epr"
 	"github.com/scaffold-go/multisimd/internal/ir"
-	"github.com/scaffold-go/multisimd/internal/lpfs"
-	"github.com/scaffold-go/multisimd/internal/rcp"
-	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
 func main() {
@@ -54,14 +51,9 @@ func main() {
 }
 
 func run(schedName string, k, d, local int, fth int64, entry, benchName, dump string, args []string) error {
-	var sched core.Scheduler
-	switch schedName {
-	case "rcp":
-		sched = core.RCP
-	case "lpfs":
-		sched = core.LPFS
-	default:
-		return fmt.Errorf("unknown scheduler %q", schedName)
+	sched, err := core.SchedulerByName(schedName)
+	if err != nil {
+		return err
 	}
 
 	var src string
@@ -100,7 +92,7 @@ func run(schedName string, k, d, local int, fth int64, entry, benchName, dump st
 		return err
 	}
 
-	fmt.Printf("scheduler:           %s\n", sched)
+	fmt.Printf("scheduler:           %s\n", sched.Name())
 	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", k, dStr(d), capStr(local))
 	fmt.Printf("modules / leaves:    %d / %d\n", m.Modules, m.Leaves)
 	fmt.Printf("total gates:         %d\n", m.TotalGates)
@@ -159,13 +151,7 @@ func dumpLeaf(prog *ir.Program, name string, sched core.Scheduler, k, d, local i
 	if err != nil {
 		return err
 	}
-	var s *schedule.Schedule
-	switch sched {
-	case core.RCP:
-		s, err = rcp.Schedule(mat, g, rcp.Options{K: k, D: d})
-	default:
-		s, err = lpfs.Schedule(mat, g, lpfs.Options{K: k, D: d})
-	}
+	s, err := sched.Schedule(mat, g, k, d)
 	if err != nil {
 		return err
 	}

@@ -301,6 +301,28 @@ func TestBuildSources(t *testing.T) {
 	}
 }
 
+// TestBuildSourcesErrorPositions pins the fragment-relative diagnostics:
+// each fragment parses on its own, so an error in fragment 2 reports
+// fragment 2's line numbers, not positions shifted by fragment 1's
+// length (the old bare-"\n" concatenation mangled them).
+func TestBuildSourcesErrorPositions(t *testing.T) {
+	lib := "module helper(qbit x) {\n  H(x);\n}\n\nmodule helper2(qbit x) {\n  X(x);\n}\n"
+	bad := "module main() {\n  qbit q;\n  !!!;\n}\n"
+	_, err := core.BuildSources(core.PipelineOptions{}, lib, bad)
+	if err == nil {
+		t.Fatal("syntax error in fragment 2 not reported")
+	}
+	if !strings.Contains(err.Error(), "fragment 2") {
+		t.Errorf("error does not name the fragment: %v", err)
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error position not relative to its fragment (want line 3): %v", err)
+	}
+	if strings.Contains(err.Error(), "10:") {
+		t.Errorf("error position shifted by preceding fragment: %v", err)
+	}
+}
+
 func TestMustBuildPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -318,8 +340,8 @@ func TestEvaluateErrors(t *testing.T) {
 	if _, err := core.Evaluate(p, core.EvalOptions{K: 0}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := core.Evaluate(p, core.EvalOptions{K: 2, Scheduler: core.Scheduler(99)}); err == nil {
-		t.Error("unknown scheduler accepted")
+	if _, err := core.SchedulerByName("no-such-algorithm"); err == nil {
+		t.Error("unknown scheduler name accepted")
 	}
 	if _, err := core.Evaluate(p, core.EvalOptions{K: 2, MaterializeLimit: 3}); err == nil {
 		t.Error("tiny materialize limit accepted")

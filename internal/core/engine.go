@@ -1,0 +1,289 @@
+package core
+
+// This file is the hierarchical evaluation engine. Leaf
+// characterization — scheduling each leaf module at every blackbox width
+// and analyzing its movement — is embarrassingly parallel: no
+// (module, width) point depends on any other. The engine fans those
+// points out over a bounded worker pool and memoizes them in a
+// content-addressed EvalCache, then composes non-leaf modules serially
+// in topological order (the only place child results are actually
+// consumed). Determinism: schedulers are deterministic and every result
+// lands in a pre-assigned slot, so Metrics are identical at any worker
+// count and on any cache temperature.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+)
+
+func (o EvalOptions) workers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+type engine struct {
+	p      *ir.Program
+	opts   EvalOptions
+	sched  Scheduler
+	cfg    string
+	comm   comm.Options
+	widths []int
+	cache  *EvalCache
+}
+
+func newEngine(p *ir.Program, opts EvalOptions) *engine {
+	cache := opts.Cache
+	if cache == nil {
+		// An ephemeral per-run cache still dedupes structurally identical
+		// leaves within the program (content-addressed fingerprints).
+		cache = NewEvalCache()
+	}
+	sched := opts.scheduler()
+	return &engine{
+		p:      p,
+		opts:   opts,
+		sched:  sched,
+		cfg:    schedulerConfig(sched),
+		comm:   opts.comm(),
+		widths: widthSet(opts.K),
+		cache:  cache,
+	}
+}
+
+// schedulerConfig renders a scheduler's identity plus tuning knobs for
+// cache keys. Adapters expose Config(); anything else falls back to a
+// %+v rendering of the concrete value.
+func schedulerConfig(s Scheduler) string {
+	if c, ok := s.(interface{ Config() string }); ok {
+		return c.Config()
+	}
+	return fmt.Sprintf("%s|%+v", s.Name(), s)
+}
+
+// run evaluates every reachable module, bottom-up, and returns the
+// per-module characterizations. order is the topological order from the
+// resource estimator (callees before callers).
+func (e *engine) run(order []string, m *Metrics) (map[string]*moduleEval, error) {
+	evals := make(map[string]*moduleEval, len(order))
+	var leaves []*leafState
+	for _, name := range order {
+		mod := e.p.Modules[name]
+		m.Modules++
+		if mod.IsLeaf() {
+			m.Leaves++
+			leaves = append(leaves, &leafState{
+				name:  name,
+				mod:   mod,
+				fp:    mod.Fingerprint(),
+				slots: make([]commEntry, len(e.widths)),
+			})
+		}
+	}
+
+	if err := e.evalLeaves(leaves); err != nil {
+		return nil, err
+	}
+	for _, ls := range leaves {
+		evals[ls.name] = ls.assemble(e.widths)
+	}
+
+	// Non-leaf composition consumes child dims, so it follows the
+	// topological order; the coarse scheduler is cheap relative to leaf
+	// characterization, so it stays serial.
+	for _, name := range order {
+		mod := e.p.Modules[name]
+		if mod.IsLeaf() {
+			continue
+		}
+		ev, err := evalNonLeaf(e.p, mod, e.widths, evals)
+		if err != nil {
+			return nil, fmt.Errorf("core: module %s: %w", name, err)
+		}
+		evals[name] = ev
+	}
+	return evals, nil
+}
+
+// leafState carries one leaf through the pool: its fingerprint, a
+// lazily built (once-guarded) materialization + DAG shared by the
+// per-width tasks, and a pre-assigned result slot per width.
+type leafState struct {
+	name string
+	mod  *ir.Module
+	fp   ir.Fingerprint
+
+	once   sync.Once
+	mat    *ir.Module
+	g      *dag.Graph
+	matErr error
+
+	cp    int64
+	slots []commEntry
+}
+
+// graph materializes the leaf and builds its dependency DAG exactly
+// once, however many width tasks need it. Cache hits never call it —
+// a fully warm leaf skips materialization entirely.
+func (ls *leafState) graph(limit int64) (*ir.Module, *dag.Graph, error) {
+	ls.once.Do(func() {
+		mat, err := ls.mod.Materialize(limit)
+		if err != nil {
+			ls.matErr = err
+			return
+		}
+		g, err := dag.Build(mat)
+		if err != nil {
+			ls.matErr = err
+			return
+		}
+		ls.mat, ls.g = mat, g
+	})
+	return ls.mat, ls.g, ls.matErr
+}
+
+// assemble folds the per-width slots into a moduleEval, widths ascending
+// — identical output regardless of task completion order.
+func (ls *leafState) assemble(widths []int) *moduleEval {
+	ev := &moduleEval{cp: ls.cp}
+	for wi, w := range widths {
+		ce := ls.slots[wi]
+		ev.zero.Widths = append(ev.zero.Widths, w)
+		ev.zero.Lengths = append(ev.zero.Lengths, ce.zeroLen)
+		ev.withComm.Widths = append(ev.withComm.Widths, w)
+		ev.withComm.Lengths = append(ev.withComm.Lengths, ce.cycles)
+	}
+	if n := len(widths); n > 0 {
+		ev.globals = ls.slots[n-1].globals
+		ev.locals = ls.slots[n-1].locals
+	}
+	return ev
+}
+
+// evalLeaves characterizes every (leaf, width) point on the worker pool.
+func (e *engine) evalLeaves(leaves []*leafState) error {
+	nW := len(e.widths)
+	n := len(leaves) * nW
+	task := func(i int) error {
+		ls := leaves[i/nW]
+		if err := e.characterize(ls, i%nW); err != nil {
+			return fmt.Errorf("core: module %s: %w", ls.name, err)
+		}
+		return nil
+	}
+	return runTasks(n, e.opts.workers(), task)
+}
+
+// characterize fills one leaf's width slot, consulting the cache layers
+// outermost-first: a comm hit is free; a schedule hit re-runs only
+// comm.Analyze; a miss schedules and analyzes, then populates both.
+func (e *engine) characterize(ls *leafState, wi int) error {
+	if wi == 0 {
+		cp, ok := e.cache.criticalPath(ls.fp)
+		if !ok {
+			_, g, err := ls.graph(e.opts.materializeLimit())
+			if err != nil {
+				return err
+			}
+			cp = int64(g.CriticalPath())
+			e.cache.putCriticalPath(ls.fp, cp)
+		}
+		ls.cp = cp
+	}
+
+	w := e.widths[wi]
+	sk := schedKey{fp: ls.fp, config: e.cfg, w: w, d: e.opts.D}
+	ck := commKey{sk: sk, comm: e.comm}
+	if ce, ok := e.cache.commResult(ck); ok {
+		ls.slots[wi] = ce
+		return nil
+	}
+	s, ok := e.cache.schedule(sk)
+	if !ok {
+		mat, g, err := ls.graph(e.opts.materializeLimit())
+		if err != nil {
+			return err
+		}
+		if s, err = e.sched.Schedule(mat, g, w, e.opts.D); err != nil {
+			return err
+		}
+		e.cache.putSchedule(sk, s)
+	}
+	res, err := comm.Analyze(s, e.comm)
+	if err != nil {
+		return err
+	}
+	ce := commEntry{
+		zeroLen: int64(s.Length()),
+		cycles:  res.Cycles,
+		globals: res.GlobalMoves,
+		locals:  res.LocalMoves,
+	}
+	e.cache.putCommResult(ck, ce)
+	ls.slots[wi] = ce
+	return nil
+}
+
+// runTasks executes task(0..n-1) on up to `workers` goroutines. With one
+// worker it degenerates to today's serial loop — no goroutines, stop at
+// the first error. In parallel mode workers claim indices in order from
+// an atomic counter; on error the pool drains and the error with the
+// lowest task index is returned, which is the same error the serial
+// path would have surfaced (tasks are deterministic, and every index
+// below a claimed one has itself been claimed).
+func runTasks(n, workers int, task func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := task(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"github.com/scaffold-go/multisimd/internal/coarse"
 	"github.com/scaffold-go/multisimd/internal/comm"
-	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/lpfs"
 	"github.com/scaffold-go/multisimd/internal/rcp"
@@ -14,45 +14,81 @@ import (
 	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
-// Scheduler selects the fine-grained scheduling algorithm.
-type Scheduler int
+// Scheduler is the fine-grained scheduling algorithm interface shared
+// with package schedule. Algorithms self-register; look them up by name
+// with SchedulerByName or use the RCP/LPFS defaults.
+type Scheduler = schedule.Scheduler
 
-const (
-	// RCP is the Ready Critical Path scheduler (Algorithm 1).
-	RCP Scheduler = iota
+var (
+	// RCP is the Ready Critical Path scheduler (Algorithm 1) at its
+	// paper-default weights.
+	RCP Scheduler = rcp.Scheduler{}
 	// LPFS is Longest Path First Scheduling (Algorithm 2), run with
 	// l = 1, SIMD and Refill as in the paper.
-	LPFS
+	LPFS Scheduler = lpfs.Scheduler{}
 )
 
-func (s Scheduler) String() string {
-	switch s {
-	case RCP:
-		return "rcp"
-	case LPFS:
-		return "lpfs"
+// SchedulerByName resolves a scheduler from the global registry, the
+// lookup behind every command-line -sched flag.
+func SchedulerByName(name string) (Scheduler, error) {
+	if s, ok := schedule.Lookup(name); ok {
+		return s, nil
 	}
-	return fmt.Sprintf("Scheduler(%d)", int(s))
+	return nil, fmt.Errorf("core: unknown scheduler %q (registered: %s)",
+		name, strings.Join(schedule.Names(), ", "))
 }
 
 // EvalOptions configures a hierarchical evaluation run.
 type EvalOptions struct {
+	// Scheduler is the fine-grained algorithm; nil defaults to RCP.
+	// Tuned variants come from rcp.New / lpfs.New or the registry.
 	Scheduler Scheduler
 	// K is the number of SIMD regions; D the per-region data parallelism
 	// (0 = ∞, the paper's setting).
 	K int
 	D int
+
+	// Comm bundles the communication-model knobs (scratchpad capacity,
+	// movement accounting, EPR bandwidth) declared once and shared with
+	// comm.Analyze and the characterization cache key.
+	Comm comm.Options
+
 	// LocalCapacity is the per-region scratchpad size: 0 none, negative
 	// unlimited (Fig. 8's "Inf").
+	//
+	// Deprecated: set Comm.LocalCapacity. Forwarded when Comm's field is
+	// unset.
 	LocalCapacity int
 	// NoOverlap selects the strict (unmasked) §4.4 movement accounting.
+	//
+	// Deprecated: set Comm.NoOverlap. Forwarded when Comm's field is
+	// unset.
 	NoOverlap bool
 	// EPRBandwidth caps teleports per boundary (0 = unlimited, §2.3).
+	//
+	// Deprecated: set Comm.EPRBandwidth. Forwarded when Comm's field is
+	// unset.
 	EPRBandwidth int
+
 	// MaterializeLimit bounds leaf materialization (0 = 4M ops).
 	MaterializeLimit int64
+
+	// Workers bounds the engine's leaf-characterization concurrency:
+	// 0 uses runtime.GOMAXPROCS(0), 1 runs the serial path. Results are
+	// identical at any worker count (see engine.go).
+	Workers int
+	// Cache, when non-nil, memoizes leaf characterizations across
+	// Evaluate calls, keyed by content fingerprint, scheduler
+	// configuration, width and comm options. Experiment sweeps share one
+	// cache per benchmark so repeated configurations reuse schedules and
+	// only re-run comm.Analyze when comm options change.
+	Cache *EvalCache
+
 	// LPFSOpts / RCPOpts override algorithm knobs for ablations; K and D
 	// inside them are ignored (taken from this struct).
+	//
+	// Deprecated: pass a tuned scheduler (lpfs.New / rcp.New) instead.
+	// Forwarded onto an untuned matching Scheduler during the transition.
 	LPFSOpts lpfs.Options
 	RCPOpts  rcp.Options
 }
@@ -62,6 +98,47 @@ func (o EvalOptions) materializeLimit() int64 {
 		return 4 << 20
 	}
 	return o.MaterializeLimit
+}
+
+// comm resolves the effective communication options, forwarding the
+// deprecated top-level fields where the embedded struct is unset.
+func (o EvalOptions) comm() comm.Options {
+	c := o.Comm
+	if c.LocalCapacity == 0 {
+		c.LocalCapacity = o.LocalCapacity
+	}
+	if !c.NoOverlap {
+		c.NoOverlap = o.NoOverlap
+	}
+	if c.EPRBandwidth == 0 {
+		c.EPRBandwidth = o.EPRBandwidth
+	}
+	return c
+}
+
+// scheduler resolves the effective scheduler, defaulting to RCP and
+// forwarding the deprecated per-algorithm option fields onto an untuned
+// matching adapter.
+func (o EvalOptions) scheduler() Scheduler {
+	s := o.Scheduler
+	if s == nil {
+		s = RCP
+	}
+	switch t := s.(type) {
+	case rcp.Scheduler:
+		if t.Opts == (rcp.Options{}) && o.RCPOpts != (rcp.Options{}) {
+			t.Opts = o.RCPOpts
+			t.Opts.K, t.Opts.D = 0, 0
+			return t
+		}
+	case lpfs.Scheduler:
+		if t.Opts == (lpfs.Options{}) && o.LPFSOpts != (lpfs.Options{}) {
+			t.Opts = o.LPFSOpts
+			t.Opts.K, t.Opts.D = 0, 0
+			return t
+		}
+	}
+	return s
 }
 
 // Metrics is the paper's per-benchmark measurement set.
@@ -125,6 +202,9 @@ type moduleEval struct {
 // flatten) and evaluates it hierarchically on a Multi-SIMD(k,d) machine,
 // reproducing the paper's measurement flow: fine-grained schedules and
 // flexible blackbox dims for leaves, coarse-grained composition above.
+// Leaf characterizations fan out over EvalOptions.Workers goroutines and
+// memoize through EvalOptions.Cache; both are transparent — the returned
+// Metrics are identical to the serial, uncached path.
 func Evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
 	if opts.K < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1")
@@ -143,25 +223,11 @@ func Evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
 	m.SeqCycles = m.TotalGates
 	m.NaiveCycles = comm.NaiveCycles(m.TotalGates)
 
-	widths := widthSet(opts.K)
-	cache := map[string]*moduleEval{}
-	order := est.Reachable()
-	for _, name := range order {
-		mod := p.Modules[name]
-		m.Modules++
-		var ev *moduleEval
-		if mod.IsLeaf() {
-			m.Leaves++
-			ev, err = evalLeaf(mod, widths, opts)
-		} else {
-			ev, err = evalNonLeaf(p, mod, widths, opts, cache)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: module %s: %w", name, err)
-		}
-		cache[name] = ev
+	evals, err := newEngine(p, opts).run(est.Reachable(), m)
+	if err != nil {
+		return nil, err
 	}
-	entry := cache[p.Entry]
+	entry := evals[p.Entry]
 	if entry == nil {
 		return nil, fmt.Errorf("core: entry module %q not evaluated", p.Entry)
 	}
@@ -197,69 +263,19 @@ func widthSet(k int) []int {
 	return ws
 }
 
-// evalLeaf characterizes a leaf by scheduling it at every width.
-func evalLeaf(mod *ir.Module, widths []int, opts EvalOptions) (*moduleEval, error) {
-	mat, err := mod.Materialize(opts.materializeLimit())
-	if err != nil {
-		return nil, err
-	}
-	g, err := dag.Build(mat)
-	if err != nil {
-		return nil, err
-	}
-	ev := &moduleEval{cp: int64(g.CriticalPath())}
-	for _, w := range widths {
-		s, err := runScheduler(mat, g, w, opts)
-		if err != nil {
-			return nil, err
-		}
-		res, err := comm.Analyze(s, comm.Options{
-			LocalCapacity: opts.LocalCapacity,
-			NoOverlap:     opts.NoOverlap,
-			EPRBandwidth:  opts.EPRBandwidth,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ev.zero.Widths = append(ev.zero.Widths, w)
-		ev.zero.Lengths = append(ev.zero.Lengths, int64(s.Length()))
-		ev.withComm.Widths = append(ev.withComm.Widths, w)
-		ev.withComm.Lengths = append(ev.withComm.Lengths, res.Cycles)
-		if w == widths[len(widths)-1] {
-			ev.globals = res.GlobalMoves
-			ev.locals = res.LocalMoves
-		}
-	}
-	return ev, nil
-}
-
-func runScheduler(mat *ir.Module, g *dag.Graph, k int, opts EvalOptions) (*schedule.Schedule, error) {
-	switch opts.Scheduler {
-	case RCP:
-		o := opts.RCPOpts
-		o.K, o.D = k, opts.D
-		return rcp.Schedule(mat, g, o)
-	case LPFS:
-		o := opts.LPFSOpts
-		o.K, o.D = k, opts.D
-		return lpfs.Schedule(mat, g, o)
-	}
-	return nil, fmt.Errorf("core: unknown scheduler %v", opts.Scheduler)
-}
-
 // evalNonLeaf characterizes a non-leaf via coarse scheduling over its
 // callees' cached dims.
-func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, opts EvalOptions, cache map[string]*moduleEval) (*moduleEval, error) {
+func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, evals map[string]*moduleEval) (*moduleEval, error) {
 	ev := &moduleEval{}
 	dimsZero := func(callee string) (coarse.Dims, error) {
-		c := cache[callee]
+		c := evals[callee]
 		if c == nil {
 			return coarse.Dims{}, fmt.Errorf("core: callee %s not yet evaluated", callee)
 		}
 		return c.zero, nil
 	}
 	dimsComm := func(callee string) (coarse.Dims, error) {
-		c := cache[callee]
+		c := evals[callee]
 		if c == nil {
 			return coarse.Dims{}, fmt.Errorf("core: callee %s not yet evaluated", callee)
 		}
@@ -281,7 +297,7 @@ func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, opts EvalOptions, 
 	}
 	// Critical path: longest dependency chain with callee CPs as weights.
 	ev.cp = coarseCriticalPath(mod, func(callee string) int64 {
-		if c := cache[callee]; c != nil {
+		if c := evals[callee]; c != nil {
 			return c.cp
 		}
 		return 1
@@ -294,7 +310,7 @@ func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, opts EvalOptions, 
 		case ir.GateOp:
 			ev.globals += op.EffCount()
 		case ir.CallOp:
-			if c := cache[op.Callee]; c != nil {
+			if c := evals[op.Callee]; c != nil {
 				ev.globals = satAdd(ev.globals, satMul(c.globals, op.EffCount()))
 				ev.locals = satAdd(ev.locals, satMul(c.locals, op.EffCount()))
 			}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/flatten"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/resource"
@@ -17,6 +18,24 @@ type Workload struct {
 	Name   string
 	Params string
 	Prog   *ir.Program
+
+	// Cache, when non-nil, memoizes leaf characterizations across every
+	// Evaluate the drivers run for this workload, so sweeps that revisit
+	// a (scheduler, k, d) configuration reuse its schedules and only
+	// re-run comm.Analyze when movement options change (fig7 after fig6
+	// is fully warm; fig8's capacity sweep re-analyzes one schedule).
+	Cache *EvalCache
+	// Workers overrides the engine's leaf-characterization concurrency
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical either way.
+	Workers int
+}
+
+// evalOptions stamps the workload's cache and concurrency settings onto
+// a driver's base evaluation options.
+func (w Workload) evalOptions(o EvalOptions) EvalOptions {
+	o.Cache = w.Cache
+	o.Workers = w.Workers
+	return o
 }
 
 // Fig5Row is one benchmark's module gate-count histogram (paper Fig. 5).
@@ -77,7 +96,7 @@ func Fig6(ws []Workload) ([]Fig6Row, error) {
 			{RCP, 2, &row.RCP2}, {RCP, 4, &row.RCP4},
 			{LPFS, 2, &row.LPFS2}, {LPFS, 4, &row.LPFS4},
 		} {
-			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: cfg.s, K: cfg.k})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: cfg.s, K: cfg.k}))
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s %v k=%d: %w", w.Name, cfg.s, cfg.k, err)
 			}
@@ -113,7 +132,7 @@ func Fig7(ws []Workload) ([]Fig7Row, error) {
 			{RCP, 2, &row.RCP2}, {RCP, 4, &row.RCP4},
 			{LPFS, 2, &row.LPFS2}, {LPFS, 4, &row.LPFS4},
 		} {
-			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: cfg.s, K: cfg.k})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: cfg.s, K: cfg.k}))
 			if err != nil {
 				return nil, fmt.Errorf("fig7 %s %v k=%d: %w", w.Name, cfg.s, cfg.k, err)
 			}
@@ -155,7 +174,7 @@ func Fig8(ws []Workload) ([]Fig8Row, error) {
 		caps := [4]int{0, int(q / 4), int(q / 2), -1}
 		for si, s := range []Scheduler{RCP, LPFS} {
 			for ci, c := range caps {
-				m, err := Evaluate(w.Prog, EvalOptions{Scheduler: s, K: 4, LocalCapacity: c})
+				m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: s, K: 4, Comm: comm.Options{LocalCapacity: c}}))
 				if err != nil {
 					return nil, fmt.Errorf("fig8 %s %v cap=%d: %w", w.Name, s, c, err)
 				}
@@ -191,7 +210,7 @@ func Fig9(w Workload) ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for _, s := range []Scheduler{RCP, LPFS} {
 		for _, k := range Fig9Ks {
-			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: s, K: k, LocalCapacity: -1})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: s, K: k, Comm: comm.Options{LocalCapacity: -1}}))
 			if err != nil {
 				return nil, fmt.Errorf("fig9 %v k=%d: %w", s, k, err)
 			}
@@ -247,8 +266,9 @@ func Table2(n int, ks []int) (*Table2Result, error) {
 		return nil, err
 	}
 	res := &Table2Result{Rotations: n, StepsAtK: map[int]int64{}}
+	cache := NewEvalCache() // the k sweep shares every width below max(ks)
 	for _, k := range ks {
-		m, err := Evaluate(prog, EvalOptions{Scheduler: LPFS, K: k})
+		m, err := Evaluate(prog, EvalOptions{Scheduler: LPFS, K: k, Cache: cache})
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/scaffold-go/multisimd/internal/ast"
 	"github.com/scaffold-go/multisimd/internal/decompose"
 	"github.com/scaffold-go/multisimd/internal/flatten"
 	"github.com/scaffold-go/multisimd/internal/ir"
@@ -65,6 +66,11 @@ func Frontend(src string, opts PipelineOptions) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return frontendAST(prog, opts)
+}
+
+// frontendAST checks and lowers an already parsed program.
+func frontendAST(prog *ast.Program, opts PipelineOptions) (*ir.Program, error) {
 	if err := sema.Check(prog); err != nil {
 		return nil, err
 	}
@@ -81,6 +87,11 @@ func Build(src string, opts PipelineOptions) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return midend(p, opts)
+}
+
+// midend runs the post-frontend passes on a lowered program.
+func midend(p *ir.Program, opts PipelineOptions) (*ir.Program, error) {
 	if !opts.SkipDecompose {
 		if _, err := decompose.Program(p, decompose.Options{
 			Epsilon:         opts.Epsilon,
@@ -132,14 +143,25 @@ func reuseLeaves(p *ir.Program) error {
 	return p.Validate()
 }
 
-// BuildSources concatenates several source fragments (module libraries
-// plus a main) and builds them as one program.
+// BuildSources combines several source fragments (module libraries plus
+// a main) and builds them as one program. Each fragment parses
+// separately so diagnostics carry line numbers relative to the fragment
+// they occur in (a naive concatenation would shift every fragment after
+// the first), prefixed with the 1-based fragment index.
 func BuildSources(opts PipelineOptions, srcs ...string) (*ir.Program, error) {
-	var all string
-	for _, s := range srcs {
-		all += s + "\n"
+	merged := &ast.Program{}
+	for i, s := range srcs {
+		frag, err := parser.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: fragment %d: %w", i+1, err)
+		}
+		merged.Modules = append(merged.Modules, frag.Modules...)
 	}
-	return Build(all, opts)
+	p, err := frontendAST(merged, opts)
+	if err != nil {
+		return nil, err
+	}
+	return midend(p, opts)
 }
 
 // MustBuild is a test/example helper that panics on compile errors.

@@ -3,7 +3,15 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/rcp"
 )
+
+// unlimitedLocal is the Fig. 8 "Inf" scratchpad setting used by the
+// ablation studies.
+var unlimitedLocal = comm.Options{LocalCapacity: -1}
 
 // SensDRow is one point of the d-sensitivity study (§5.4: "decreasing
 // [d] to below 32 qubits only causes marginal changes").
@@ -19,7 +27,7 @@ func SensD(ws []Workload, sched Scheduler, k int, ds []int) ([]SensDRow, error) 
 	var rows []SensDRow
 	for _, w := range ws {
 		for _, d := range ds {
-			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: sched, K: k, D: d, LocalCapacity: -1})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: sched, K: k, D: d, Comm: comm.Options{LocalCapacity: -1}}))
 			if err != nil {
 				return nil, fmt.Errorf("sensd %s d=%d: %w", w.Name, d, err)
 			}
@@ -43,7 +51,7 @@ func SensEPR(ws []Workload, sched Scheduler, k int, bws []int) ([]SensEPRRow, er
 	var rows []SensEPRRow
 	for _, w := range ws {
 		for _, bw := range bws {
-			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: sched, K: k, EPRBandwidth: bw})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: sched, K: k, Comm: comm.Options{EPRBandwidth: bw}}))
 			if err != nil {
 				return nil, fmt.Errorf("sensepr %s bw=%d: %w", w.Name, bw, err)
 			}
@@ -67,20 +75,16 @@ func AblationLPFS(ws []Workload, k int) ([]AblationRow, error) {
 		name string
 		opts EvalOptions
 	}{
-		{"simd+refill", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1}},
-		{"simd only", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
-			LPFSOpts: lpfsOpts(true, false)}},
-		{"refill only", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
-			LPFSOpts: lpfsOpts(false, true)}},
-		{"neither", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
-			LPFSOpts: lpfsOpts(false, false)}},
-		{"l=2", EvalOptions{Scheduler: LPFS, K: k, LocalCapacity: -1,
-			LPFSOpts: lpfsL(2)}},
+		{"simd+refill", EvalOptions{Scheduler: LPFS, K: k, Comm: unlimitedLocal}},
+		{"simd only", EvalOptions{Scheduler: lpfs.New(lpfsOpts(true, false)), K: k, Comm: unlimitedLocal}},
+		{"refill only", EvalOptions{Scheduler: lpfs.New(lpfsOpts(false, true)), K: k, Comm: unlimitedLocal}},
+		{"neither", EvalOptions{Scheduler: lpfs.New(lpfsOpts(false, false)), K: k, Comm: unlimitedLocal}},
+		{"l=2", EvalOptions{Scheduler: lpfs.New(lpfsL(2)), K: k, Comm: unlimitedLocal}},
 	}
 	var rows []AblationRow
 	for _, w := range ws {
 		for _, v := range variants {
-			m, err := Evaluate(w.Prog, v.opts)
+			m, err := Evaluate(w.Prog, w.evalOptions(v.opts))
 			if err != nil {
 				return nil, fmt.Errorf("ablation lpfs %s %s: %w", w.Name, v.name, err)
 			}
@@ -105,10 +109,10 @@ func AblationRCP(ws []Workload, k int) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, w := range ws {
 		for _, v := range variants {
-			m, err := Evaluate(w.Prog, EvalOptions{
-				Scheduler: RCP, K: k, LocalCapacity: -1,
-				RCPOpts: rcpWeights(v.wop, v.wdist, v.wslak),
-			})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{
+				Scheduler: rcp.New(rcpWeights(v.wop, v.wdist, v.wslak)),
+				K:         k, Comm: unlimitedLocal,
+			}))
 			if err != nil {
 				return nil, fmt.Errorf("ablation rcp %s %s: %w", w.Name, v.name, err)
 			}
@@ -127,7 +131,7 @@ func AblationComm(ws []Workload, sched Scheduler, k int) ([]AblationRow, error) 
 			name string
 			no   bool
 		}{{"masked (pipelined QT)", false}, {"strict (no overlap)", true}} {
-			m, err := Evaluate(w.Prog, EvalOptions{Scheduler: sched, K: k, NoOverlap: v.no})
+			m, err := Evaluate(w.Prog, w.evalOptions(EvalOptions{Scheduler: sched, K: k, Comm: comm.Options{NoOverlap: v.no}}))
 			if err != nil {
 				return nil, fmt.Errorf("ablation comm %s %s: %w", w.Name, v.name, err)
 			}
@@ -166,7 +170,7 @@ func SweepFTh(sources []SourceWorkload, sched Scheduler, k int, fths []int64) ([
 			if err != nil {
 				return nil, fmt.Errorf("fth %s %d: %w", sw.Name, fth, err)
 			}
-			m, err := Evaluate(prog, EvalOptions{Scheduler: sched, K: k, LocalCapacity: -1})
+			m, err := Evaluate(prog, EvalOptions{Scheduler: sched, K: k, Comm: comm.Options{LocalCapacity: -1}})
 			if err != nil {
 				return nil, fmt.Errorf("fth %s %d: %w", sw.Name, fth, err)
 			}

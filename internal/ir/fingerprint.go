@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint is a content hash of a module body. Two modules with equal
+// fingerprints schedule identically: the hash covers everything the
+// schedulers and the communication pass observe — slot layout, operation
+// sequence, gate opcodes, rotation angles, operand slots, callee names,
+// call argument ranges and repetition counts — and nothing they do not
+// (module and register names). It is the content-addressed key of the
+// evaluation engine's characterization cache, so structurally identical
+// leaves (e.g. Shor's per-angle rotation blackboxes that decompose to
+// the same gate sequence) share cached schedules.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Fingerprint computes the module's content hash. It walks the ops once;
+// callers that need it repeatedly should memoize (the module itself does
+// not, because passes mutate bodies in place).
+func (m *Module) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	// Slot layout: parameter and local register sizes, in order. Register
+	// names are cosmetic; sizes define the slot space.
+	u64(uint64(len(m.Params)))
+	for _, p := range m.Params {
+		u64(uint64(p.Size))
+	}
+	u64(uint64(len(m.Locals)))
+	for _, l := range m.Locals {
+		u64(uint64(l.Size))
+	}
+
+	u64(uint64(len(m.Ops)))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		u64(uint64(op.Kind))
+		u64(uint64(op.EffCount()))
+		switch op.Kind {
+		case GateOp:
+			u64(uint64(op.Gate))
+			u64(math.Float64bits(op.Angle))
+			u64(uint64(len(op.Args)))
+			for _, a := range op.Args {
+				u64(uint64(a))
+			}
+		case CallOp:
+			str(op.Callee)
+			u64(uint64(len(op.CallArgs)))
+			for _, r := range op.CallArgs {
+				u64(uint64(r.Start))
+				u64(uint64(r.Len))
+			}
+		}
+	}
+
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

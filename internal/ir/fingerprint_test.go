@@ -1,0 +1,67 @@
+package ir
+
+import (
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/qasm"
+)
+
+func fpModule() *Module {
+	m := NewModule("m", []Reg{{Name: "q", Size: 2}}, []Reg{{Name: "a", Size: 1}})
+	m.Gate(qasm.H, 0)
+	m.Rot(qasm.Rz, 0.5, 1)
+	m.Ops = append(m.Ops, Op{Kind: GateOp, Gate: qasm.CNOT, Args: []int{0, 2}, Count: 3})
+	return m
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpModule(), fpModule()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical modules fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := fpModule()
+	b := fpModule()
+	b.Name = "other"
+	b.Params[0].Name = "p"
+	b.Locals[0].Name = "anc"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("module/register names should not affect the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpModule().Fingerprint()
+	mutations := map[string]func(*Module){
+		"gate":        func(m *Module) { m.Ops[0].Gate = qasm.X },
+		"angle":       func(m *Module) { m.Ops[1].Angle = 0.25 },
+		"arg slot":    func(m *Module) { m.Ops[0].Args = []int{1} },
+		"count":       func(m *Module) { m.Ops[2].Count = 4 },
+		"extra op":    func(m *Module) { m.Gate(qasm.T, 0) },
+		"param size":  func(m *Module) { m.Params[0].Size = 3; m.relayout() },
+		"local size":  func(m *Module) { m.Locals[0].Size = 2; m.relayout() },
+		"callee name": func(m *Module) { m.Ops[2] = Op{Kind: CallOp, Callee: "f", CallArgs: []Range{{0, 2}}, Count: 3} },
+	}
+	for name, mutate := range mutations {
+		m := fpModule()
+		mutate(m)
+		if m.Fingerprint() == base {
+			t.Errorf("%s change not reflected in fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintCallArgs(t *testing.T) {
+	a := fpModule()
+	a.Ops[2] = Op{Kind: CallOp, Callee: "f", CallArgs: []Range{{Start: 0, Len: 2}}, Count: 1}
+	b := fpModule()
+	b.Ops[2] = Op{Kind: CallOp, Callee: "f", CallArgs: []Range{{Start: 1, Len: 2}}, Count: 1}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("call argument ranges should affect the fingerprint")
+	}
+}

@@ -1,0 +1,38 @@
+package rcp
+
+import (
+	"fmt"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// Scheduler adapts the RCP algorithm to the schedule.Scheduler
+// interface. The zero value runs the paper's default weights; Opts
+// carries tuning for ablations (its K and D fields are ignored — the
+// interface call supplies them).
+type Scheduler struct {
+	Opts Options
+}
+
+// New returns an RCP scheduler with the given tuning.
+func New(opts Options) Scheduler { return Scheduler{Opts: opts} }
+
+// Name implements schedule.Scheduler.
+func (s Scheduler) Name() string { return "rcp" }
+
+// String renders the scheduler for diagnostics and reports.
+func (s Scheduler) String() string { return s.Name() }
+
+// Config renders the tuning knobs canonically, for cache keys.
+func (s Scheduler) Config() string { return fmt.Sprintf("rcp%+v", s.Opts) }
+
+// Schedule implements schedule.Scheduler.
+func (s Scheduler) Schedule(m *ir.Module, g *dag.Graph, k, d int) (*schedule.Schedule, error) {
+	o := s.Opts
+	o.K, o.D = k, d
+	return Schedule(m, g, o)
+}
+
+func init() { schedule.Register(Scheduler{}) }

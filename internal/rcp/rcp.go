@@ -106,20 +106,23 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 				key := schedule.KeyOf(m, op)
 				base := wop*float64(prev[key]) - wslack*float64(g.Slack(op))
 				// Locality: prefer the free region already holding the
-				// most operands of this op; ties and memory-resident
-				// operands fall back to the first free region.
+				// most operands of this op, lowest region index on ties
+				// (a map here would let Go's random iteration order pick
+				// the winner and make schedules nondeterministic);
+				// memory-resident operands fall back to the first free
+				// region.
 				locality := 0
 				region := -1
-				counts := make(map[int32]int, len(m.Ops[op].Args))
+				counts := make([]int, opts.K)
 				for _, slot := range m.Ops[op].Args {
 					if r := loc[slot]; r >= 0 && regionFree[r] {
 						counts[r]++
 					}
 				}
 				for r, c := range counts {
-					if c > locality || (c == locality && region < 0) {
+					if c > locality {
 						locality = c
-						region = int(r)
+						region = r
 					}
 				}
 				if region < 0 {

@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+)
+
+// Scheduler is the uniform interface over the fine-grained scheduling
+// algorithms (paper §4): given a materialized leaf module and its
+// dependency DAG, produce a Multi-SIMD(k,d) schedule. Implementations
+// must be deterministic — identical inputs yield identical schedules —
+// because the hierarchical evaluation engine characterizes leaves
+// concurrently and caches the results by content fingerprint.
+type Scheduler interface {
+	// Name identifies the algorithm ("rcp", "lpfs") in registries,
+	// command-line flags and cache keys.
+	Name() string
+	// Schedule runs the algorithm on module m with dependency graph g
+	// using k SIMD regions of data parallelism d (0 = unbounded).
+	Schedule(m *ir.Module, g *dag.Graph, k, d int) (*Schedule, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scheduler{}
+)
+
+// Register adds a scheduler to the global registry under its Name. The
+// rcp and lpfs packages self-register at init time; later registrations
+// of the same name replace earlier ones, letting experiments swap in
+// tuned variants.
+func Register(s Scheduler) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[s.Name()] = s
+}
+
+// Lookup returns the registered scheduler of the given name.
+func Lookup(name string) (Scheduler, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustLookup is Lookup for names that are known to be registered (the
+// built-in algorithms); it panics otherwise.
+func MustLookup(name string) Scheduler {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("schedule: no registered scheduler %q", name))
+	}
+	return s
+}
+
+// Names lists the registered scheduler names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,57 @@
+package schedule
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+)
+
+type fakeScheduler struct{ name string }
+
+func (f fakeScheduler) Name() string { return f.name }
+func (f fakeScheduler) Schedule(m *ir.Module, g *dag.Graph, k, d int) (*Schedule, error) {
+	return nil, fmt.Errorf("fake")
+}
+
+func TestRegistry(t *testing.T) {
+	Register(fakeScheduler{name: "fake-test"})
+	s, ok := Lookup("fake-test")
+	if !ok || s.Name() != "fake-test" {
+		t.Fatalf("Lookup after Register: %v %v", s, ok)
+	}
+	if _, ok := Lookup("never-registered"); ok {
+		t.Error("Lookup of unregistered name succeeded")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "fake-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v missing fake-test", Names())
+	}
+	if MustLookup("fake-test").Name() != "fake-test" {
+		t.Error("MustLookup mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup of unregistered name did not panic")
+		}
+	}()
+	MustLookup("never-registered")
+}
+
+// TestRegistryReplace pins the latest-wins semantics experiments rely on
+// when swapping in tuned variants.
+func TestRegistryReplace(t *testing.T) {
+	Register(fakeScheduler{name: "replace-test"})
+	second := fakeScheduler{name: "replace-test"}
+	Register(second)
+	s, _ := Lookup("replace-test")
+	if s != Scheduler(second) {
+		t.Error("second registration did not replace the first")
+	}
+}

@@ -17,6 +17,9 @@
 //	-local N         scratchpad capacity per region (0 none, -1 unlimited)
 //	-fth N           flattening threshold (default 2000 for exploration)
 //	-entry name      entry module (default "main")
+//	-verify          run the independent legality oracle over every leaf
+//	                 schedule and move list; failures name the module,
+//	                 step, region and op
 package main
 
 import (
@@ -42,15 +45,16 @@ func main() {
 	entry := flag.String("entry", "main", "entry module")
 	benchName := flag.String("bench", "", "built-in benchmark name")
 	dump := flag.String("dump", "", "dump the fine-grained schedule of the named leaf module (timesteps, regions, move list)")
+	verifyFlag := flag.Bool("verify", false, "check every leaf schedule and move list with the legality oracle")
 	flag.Parse()
 
-	if err := run(*schedName, *k, *d, *local, *fth, *entry, *benchName, *dump, flag.Args()); err != nil {
+	if err := run(*schedName, *k, *d, *local, *fth, *entry, *benchName, *dump, *verifyFlag, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "qsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schedName string, k, d, local int, fth int64, entry, benchName, dump string, args []string) error {
+func run(schedName string, k, d, local int, fth int64, entry, benchName, dump string, verify bool, args []string) error {
 	sched, err := core.SchedulerByName(schedName)
 	if err != nil {
 		return err
@@ -87,12 +91,16 @@ func run(schedName string, k, d, local int, fth int64, entry, benchName, dump st
 		K:             k,
 		D:             d,
 		LocalCapacity: local,
+		Verify:        verify,
 	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("scheduler:           %s\n", sched.Name())
+	if verify {
+		fmt.Printf("verification:        every leaf schedule and move list legal\n")
+	}
 	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", k, dStr(d), capStr(local))
 	fmt.Printf("modules / leaves:    %d / %d\n", m.Modules, m.Leaves)
 	fmt.Printf("total gates:         %d\n", m.TotalGates)

@@ -1,35 +1,91 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
 
 func TestRunEvaluation(t *testing.T) {
 	for _, sched := range []string{"rcp", "lpfs"} {
-		if err := run(sched, 4, 0, -1, 2000, "main", "Grovers", "", nil); err != nil {
+		if err := run(sched, 4, 0, -1, 2000, "main", "Grovers", "", false, nil); err != nil {
 			t.Errorf("%s: %v", sched, err)
 		}
 	}
 }
 
 func TestRunDump(t *testing.T) {
-	if err := run("lpfs", 2, 0, -1, 2000, "main", "BWT", "walk_step", nil); err != nil {
+	if err := run("lpfs", 2, 0, -1, 2000, "main", "BWT", "walk_step", false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("quantum", 4, 0, 0, 2000, "main", "Grovers", "", nil); err == nil {
+	if err := run("quantum", 4, 0, 0, 2000, "main", "Grovers", "", false, nil); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
-	if err := run("lpfs", 4, 0, 0, 2000, "main", "", "", nil); err == nil {
+	if err := run("lpfs", 4, 0, 0, 2000, "main", "", "", false, nil); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("lpfs", 4, 0, 0, 2000, "main", "NotABench", "", nil); err == nil {
+	if err := run("lpfs", 4, 0, 0, 2000, "main", "NotABench", "", false, nil); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "no_such_module", nil); err == nil {
+	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "no_such_module", false, nil); err == nil {
 		t.Error("unknown dump module accepted")
 	}
-	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "main", nil); err == nil {
+	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "main", false, nil); err == nil {
 		t.Error("non-leaf dump accepted")
+	}
+}
+
+// TestRunVerify exercises the -verify flag: the real schedulers pass the
+// legality oracle on a benchmark run.
+func TestRunVerify(t *testing.T) {
+	for _, sched := range []string{"rcp", "lpfs"} {
+		if err := run(sched, 4, 0, -1, 2000, "main", "Grovers", "", true, nil); err != nil {
+			t.Errorf("%s -verify: %v", sched, err)
+		}
+	}
+}
+
+// evilScheduler emits every op in its own timestep in reverse program
+// order — a deliberately illegal schedule (dependencies run backwards)
+// for testing that -verify rejects it.
+type evilScheduler struct{}
+
+func (evilScheduler) Name() string { return "evil" }
+
+func (evilScheduler) Schedule(m *ir.Module, g *dag.Graph, k, d int) (*schedule.Schedule, error) {
+	s := &schedule.Schedule{M: m, K: k, D: d}
+	for op := len(m.Ops) - 1; op >= 0; op-- {
+		s.Steps = append(s.Steps, schedule.Step{Regions: [][]int32{{int32(op)}}})
+	}
+	return s, nil
+}
+
+func init() { schedule.Register(evilScheduler{}) }
+
+// TestRunVerifyRejectsIllegalSchedule is the acceptance gate for the
+// -verify flag: a scheduler producing an illegal schedule must fail the
+// run with a located (module, step, op) diagnostic, and must sail
+// through unnoticed when verification is off.
+func TestRunVerifyRejectsIllegalSchedule(t *testing.T) {
+	err := run("evil", 4, 0, 0, 2000, "main", "Grovers", "", true, nil)
+	if err == nil {
+		t.Fatal("-verify accepted a reverse-order schedule")
+	}
+	msg := err.Error()
+	for _, want := range []string{"verify:", "dependency-order", "step", "op"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q lacks %q", msg, want)
+		}
+	}
+	// Without -verify the illegal schedule goes undetected — the very
+	// gap the oracle exists to close.
+	if err := run("evil", 4, 0, 0, 2000, "main", "Grovers", "", false, nil); err != nil {
+		t.Errorf("unverified run surfaced an unexpected error: %v", err)
 	}
 }

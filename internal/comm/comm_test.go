@@ -12,6 +12,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/qasm"
 	"github.com/scaffold-go/multisimd/internal/rcp"
 	"github.com/scaffold-go/multisimd/internal/schedule"
+	"github.com/scaffold-go/multisimd/internal/verify"
 )
 
 func sched(t *testing.T, m *ir.Module, steps []schedule.Step, k int) *schedule.Schedule {
@@ -223,23 +224,6 @@ func TestIdleRegionStoresPassively(t *testing.T) {
 	}
 }
 
-func randomLeaf(rng *rand.Rand, nOps, nQubits int) *ir.Module {
-	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
-	for i := 0; i < nOps; i++ {
-		switch rng.Intn(3) {
-		case 0:
-			m.Gate(qasm.H, rng.Intn(nQubits))
-		case 1:
-			a := rng.Intn(nQubits)
-			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
-			m.Gate(qasm.CNOT, a, b)
-		default:
-			m.Gate(qasm.T, rng.Intn(nQubits))
-		}
-	}
-	return m
-}
-
 // Property: for any schedule, cycles are bounded below by step count and
 // above by the no-overlap accounting; local memory never increases
 // cycles; EPR pairs equal global moves.
@@ -247,7 +231,7 @@ func TestAccountingInvariantsQuick(t *testing.T) {
 	f := func(seed int64, useLPFS bool, kRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		k := int(kRaw%3) + 1
-		m := randomLeaf(rng, 40, 5)
+		m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 40, Qubits: 5})
 		g, err := dag.Build(m)
 		if err != nil {
 			return false
@@ -299,14 +283,21 @@ func TestAccountingInvariantsQuick(t *testing.T) {
 }
 
 func TestEPRBandwidthThrottling(t *testing.T) {
-	// 4 independent H gates in one step: 4 initial teleports at one
-	// boundary.
+	// 4 qubits prepared in region 0, then all consumed by region 1:
+	// boundary 0 carries 4 pre-distributed first-use loads, boundary 1
+	// carries 4 genuine runtime teleports that compete for the channel.
 	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 4}})
 	for i := 0; i < 4; i++ {
 		m.Gate(qasm.H, i)
 	}
-	steps := []schedule.Step{{Regions: [][]int32{{0, 1, 2, 3}}}}
-	s := sched(t, m, steps, 1)
+	for i := 0; i < 4; i++ {
+		m.Gate(qasm.X, i)
+	}
+	steps := []schedule.Step{
+		{Regions: [][]int32{{0, 1, 2, 3}, nil}},
+		{Regions: [][]int32{nil, {4, 5, 6, 7}}},
+	}
+	s := sched(t, m, steps, 2)
 
 	free, err := comm.Analyze(s, comm.Options{})
 	if err != nil {
@@ -315,24 +306,84 @@ func TestEPRBandwidthThrottling(t *testing.T) {
 	if free.PeakEPRBandwidth != 4 {
 		t.Errorf("peak bandwidth %d, want 4", free.PeakEPRBandwidth)
 	}
-	if free.Cycles != 1 { // first uses ride pre-distribution
-		t.Errorf("unthrottled cycles %d", free.Cycles)
+	// Loads masked; the 4 zero-window teleports stall boundary 1 by 4.
+	if free.Cycles != 2+comm.TeleportCycles {
+		t.Errorf("unthrottled cycles %d, want %d", free.Cycles, 2+comm.TeleportCycles)
 	}
 
 	throttled, err := comm.Analyze(s, comm.Options{EPRBandwidth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 teleports through a width-1 channel: 3 extra waves of 4 cycles.
-	if throttled.Cycles != 1+3*comm.TeleportCycles {
-		t.Errorf("throttled cycles %d, want %d", throttled.Cycles, 1+3*comm.TeleportCycles)
+	// 4 runtime teleports through a width-1 channel: 3 extra waves of 4
+	// cycles on top of the stall; the first-use loads at boundary 0 are
+	// pre-distributed and never throttled.
+	if throttled.Overhead[0] != 0 {
+		t.Errorf("boundary 0 overhead %d, want 0 (pre-distributed loads)", throttled.Overhead[0])
+	}
+	if throttled.Cycles != free.Cycles+3*comm.TeleportCycles {
+		t.Errorf("throttled cycles %d, want %d", throttled.Cycles, free.Cycles+3*comm.TeleportCycles)
 	}
 
 	half, err := comm.Analyze(s, comm.Options{EPRBandwidth: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if half.Cycles != 1+1*comm.TeleportCycles {
-		t.Errorf("bw=2 cycles %d, want %d", half.Cycles, 1+comm.TeleportCycles)
+	if half.Cycles != free.Cycles+1*comm.TeleportCycles {
+		t.Errorf("bw=2 cycles %d, want %d", half.Cycles, free.Cycles+comm.TeleportCycles)
+	}
+
+	// NoOverlap keeps §4.4's strict accounting: first-use loads charge
+	// the channel too (4 at each boundary, 3 extra waves at both).
+	strict, err := comm.Analyze(s, comm.Options{NoOverlap: true, EPRBandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 + 2*(comm.TeleportCycles+3*comm.TeleportCycles))
+	if strict.Cycles != want {
+		t.Errorf("strict throttled cycles %d, want %d", strict.Cycles, want)
+	}
+}
+
+// TestDegenerateSchedules pins Analyze on empty and single-step
+// schedules: no phantom moves, and — the regression — a single-step
+// schedule's moves are all pre-distributed first-use loads, so a finite
+// EPR bandwidth must not serialize them into runtime stalls.
+func TestDegenerateSchedules(t *testing.T) {
+	empty := ir.NewModule("empty", nil, []ir.Reg{{Name: "q", Size: 2}})
+	es := sched(t, empty, nil, 2)
+	for _, opts := range []comm.Options{{}, {NoOverlap: true}, {EPRBandwidth: 1}, {LocalCapacity: 1}} {
+		res, err := comm.Analyze(es, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if res.Cycles != 0 || res.GlobalMoves != 0 || res.LocalMoves != 0 ||
+			len(res.Boundaries) != 0 || res.PeakEPRBandwidth != 0 {
+			t.Errorf("opts %+v: empty schedule reports %+v", opts, res)
+		}
+	}
+
+	m := ir.NewModule("single", nil, []ir.Reg{{Name: "q", Size: 4}})
+	for i := 0; i < 4; i++ {
+		m.Gate(qasm.H, i)
+	}
+	s := sched(t, m, []schedule.Step{{Regions: [][]int32{{0, 1, 2, 3}}}}, 1)
+	for _, bw := range []int{0, 1, 2, 3} {
+		res, err := comm.Analyze(s, comm.Options{EPRBandwidth: bw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GlobalMoves != 4 {
+			t.Errorf("bw=%d: global moves %d, want 4 initial loads", bw, res.GlobalMoves)
+		}
+		if res.Cycles != 1 {
+			t.Errorf("bw=%d: cycles %d, want 1 (loads ride pre-distribution)", bw, res.Cycles)
+		}
+	}
+	if res, err := comm.Analyze(s, comm.Options{NoOverlap: true, EPRBandwidth: 1}); err != nil {
+		t.Fatal(err)
+	} else if res.Cycles != 1+4*comm.TeleportCycles {
+		// Strict: one 4-cycle charge plus 3 serialization waves.
+		t.Errorf("strict bw=1 cycles %d, want %d", res.Cycles, 1+4*comm.TeleportCycles)
 	}
 }

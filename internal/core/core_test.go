@@ -61,7 +61,7 @@ func TestEvaluateMetricsConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range []core.Scheduler{core.RCP, core.LPFS} {
-		m, err := core.Evaluate(p, core.EvalOptions{Scheduler: s, K: 2})
+		m, err := core.Evaluate(p, core.EvalOptions{Scheduler: s, K: 2, Verify: true})
 		if err != nil {
 			t.Fatal(err)
 		}

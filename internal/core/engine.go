@@ -20,6 +20,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/verify"
 )
 
 func (o EvalOptions) workers() int {
@@ -204,7 +205,9 @@ func (e *engine) characterize(ls *leafState, wi int) error {
 	w := e.widths[wi]
 	sk := schedKey{fp: ls.fp, config: e.cfg, w: w, d: e.opts.D}
 	ck := commKey{sk: sk, comm: e.comm}
-	if ce, ok := e.cache.commResult(ck); ok {
+	// Verification re-derives the move list, so it bypasses the warm
+	// fast path: a cached result may predate the oracle.
+	if ce, ok := e.cache.commResult(ck); ok && !e.opts.Verify {
 		ls.slots[wi] = ce
 		return nil
 	}
@@ -222,6 +225,18 @@ func (e *engine) characterize(ls *leafState, wi int) error {
 	res, err := comm.Analyze(s, e.comm)
 	if err != nil {
 		return err
+	}
+	if e.opts.Verify {
+		// The cached schedule may hang off a structurally identical
+		// module from another leaf (content-addressed keys); the DAG
+		// shape is the same, so this leaf's graph checks it.
+		_, g, err := ls.graph(e.opts.materializeLimit())
+		if err != nil {
+			return err
+		}
+		if err := verify.Full(s, g, res, e.comm); err != nil {
+			return fmt.Errorf("width %d: %w", w, err)
+		}
 	}
 	ce := commEntry{
 		zeroLen: int64(s.Length()),

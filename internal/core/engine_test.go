@@ -56,6 +56,7 @@ func TestEngineDeterminism(t *testing.T) {
 				Scheduler: sched,
 				K:         4,
 				Comm:      comm.Options{LocalCapacity: -1},
+				Verify:    true,
 			}
 			serialOpts := opts
 			serialOpts.Workers = 1
@@ -209,6 +210,45 @@ func TestDeprecatedOptionForwarding(t *testing.T) {
 		}
 		if !reflect.DeepEqual(mOld, mNew) {
 			t.Errorf("%s: deprecated field not forwarded: old %+v new %+v", tc.name, mOld, mNew)
+		}
+	}
+}
+
+// TestEvaluateWithVerify runs the in-engine legality oracle over every
+// small benchmark with both schedulers: verification must pass on real
+// workloads and must be transparent — identical Metrics with it off —
+// including on a warm cache, where Verify bypasses the comm fast path.
+func TestEvaluateWithVerify(t *testing.T) {
+	progs := engineWorkloads(t)
+	for name, p := range progs {
+		for _, sched := range []core.Scheduler{core.RCP, core.LPFS} {
+			cache := core.NewEvalCache()
+			opts := core.EvalOptions{
+				Scheduler: sched,
+				K:         4,
+				Comm:      comm.Options{LocalCapacity: 4},
+				Verify:    true,
+				Cache:     cache,
+			}
+			cold, err := core.Evaluate(p, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, sched.Name(), err)
+			}
+			warm, err := core.Evaluate(p, opts)
+			if err != nil {
+				t.Fatalf("%s/%s warm: %v", name, sched.Name(), err)
+			}
+			plain := opts
+			plain.Verify = false
+			plain.Cache = nil
+			want, err := core.Evaluate(p, plain)
+			if err != nil {
+				t.Fatalf("%s/%s unverified: %v", name, sched.Name(), err)
+			}
+			if !reflect.DeepEqual(cold, want) || !reflect.DeepEqual(warm, want) {
+				t.Errorf("%s/%s: verification changed metrics:\ncold %+v\nwarm %+v\nwant %+v",
+					name, sched.Name(), cold, warm, want)
+			}
 		}
 	}
 }

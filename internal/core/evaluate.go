@@ -73,6 +73,14 @@ type EvalOptions struct {
 	// MaterializeLimit bounds leaf materialization (0 = 4M ops).
 	MaterializeLimit int64
 
+	// Verify runs the independent legality oracle (internal/verify) over
+	// every leaf characterization: the Multi-SIMD schedule contract plus
+	// move-list consistency of the communication analysis. Verification
+	// needs the leaf's dependency graph, so it forces materialization
+	// even on warm cache entries; the engine's tests and the qsched
+	// -verify flag turn it on, perf-sensitive sweeps leave it off.
+	Verify bool
+
 	// Workers bounds the engine's leaf-characterization concurrency:
 	// 0 uses runtime.GOMAXPROCS(0), 1 runs the serial path. Results are
 	// identical at any worker count (see engine.go).

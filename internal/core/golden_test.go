@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/core"
+)
+
+// update rewrites the golden metric snapshots instead of comparing:
+//
+//	go test ./internal/core -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+// goldenWorkloads wraps the compiled small benchmarks as experiment
+// workloads, each with its own cache so fig6 warms fig8's schedules.
+func goldenWorkloads(t *testing.T) []core.Workload {
+	t.Helper()
+	progs := engineWorkloads(t)
+	var ws []core.Workload
+	for _, b := range bench.AllSmall() {
+		p := progs[b.Name]
+		if p == nil {
+			t.Fatalf("benchmark %s not compiled", b.Name)
+		}
+		ws = append(ws, core.Workload{
+			Name:   b.Name,
+			Params: b.Params,
+			Prog:   p,
+			Cache:  core.NewEvalCache(),
+		})
+	}
+	return ws
+}
+
+// checkGolden compares got against testdata/golden/<name>, or rewrites
+// the snapshot under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the snapshot)", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden snapshot (run with -update if intended):\n--- want\n%s--- got\n%s",
+			name, want, got)
+	}
+}
+
+// TestGoldenFig6 snapshots the parallelism-only speedups (paper Fig. 6)
+// for every small benchmark. Schedulers and the evaluation engine are
+// deterministic, so any drift is a behavior change — intended changes
+// re-baseline with -update.
+func TestGoldenFig6(t *testing.T) {
+	rows, err := core.Fig6(goldenWorkloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("name\tparams\trcp2\trcp4\tlpfs2\tlpfs4\tcp\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			r.Name, r.Params, r.RCP2, r.RCP4, r.LPFS2, r.LPFS4, r.CP)
+	}
+	checkGolden(t, "fig6.tsv", sb.String())
+}
+
+// TestGoldenFig8 snapshots the local-memory study (paper Fig. 8).
+func TestGoldenFig8(t *testing.T) {
+	rows, err := core.Fig8(goldenWorkloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("name\tparams\tq\trcp_none\trcp_q4\trcp_q2\trcp_inf\tlpfs_none\tlpfs_q4\tlpfs_q2\tlpfs_inf\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s\t%s\t%d", r.Name, r.Params, r.Q)
+		for _, v := range r.RCP {
+			fmt.Fprintf(&sb, "\t%.4f", v)
+		}
+		for _, v := range r.LPFS {
+			fmt.Fprintf(&sb, "\t%.4f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	checkGolden(t, "fig8.tsv", sb.String())
+}

@@ -17,7 +17,10 @@ func toyWorkloads(t *testing.T) []core.Workload {
 
 func TestSensDMonotone(t *testing.T) {
 	ws := toyWorkloads(t)
-	rows, err := core.SensD(ws, core.LPFS, 4, []int{1, 2, 4, 0})
+	// d starts at 2: the toy program contains CNOTs, and a d=1 machine
+	// cannot execute a 2-qubit gate — schedulers reject it (the old d=1
+	// row existed only while LPFS ignored d for pinned-path heads).
+	rows, err := core.SensD(ws, core.LPFS, 4, []int{2, 3, 4, 0})
 	if err != nil {
 		t.Fatal(err)
 	}

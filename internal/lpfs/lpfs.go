@@ -92,6 +92,13 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 		isReady := func(op int32) bool {
 			return pending[op] == 0 && !done[op] && !inStep[op]
 		}
+		// fits reports whether op alone respects the d budget. Ops wider
+		// than d can never execute; placement skips them so the progress
+		// check below surfaces the infeasibility as an error instead of
+		// emitting an illegal schedule.
+		fits := func(op int32) bool {
+			return opts.D <= 0 || len(m.Ops[op].Args) <= opts.D
+		}
 		// takeFree extracts ready, unclaimed free-list ops matching key,
 		// up to the remaining d budget, preserving free-list order.
 		takeFree := func(key schedule.GroupKey, qubits int) ([]int32, int) {
@@ -126,7 +133,7 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 				paths[i] = g.NextLongestPath(orBool(done, claimed), ready)
 				claim(paths[i])
 			}
-			if len(paths[i]) > 0 && isReady(paths[i][0]) {
+			if len(paths[i]) > 0 && isReady(paths[i][0]) && fits(paths[i][0]) {
 				head := paths[i][0]
 				paths[i] = paths[i][1:]
 				ops := []int32{head}
@@ -165,12 +172,18 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 		if len(placed) == 0 {
 			forced := int32(-1)
 			for _, op := range ready {
-				if isReady(op) {
+				if isReady(op) && fits(op) {
 					forced = op
 					break
 				}
 			}
 			if forced < 0 {
+				for _, op := range ready {
+					if isReady(op) && !fits(op) {
+						return nil, fmt.Errorf("lpfs: op %d operates on %d qubits, d = %d",
+							op, len(m.Ops[op].Args), opts.D)
+					}
+				}
 				return nil, fmt.Errorf("lpfs: deadlock with %d/%d ops scheduled", scheduled, n)
 			}
 			// Unlink the op from whichever path holds it, at any position.

@@ -9,6 +9,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/lpfs"
 	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/verify"
 )
 
 func build(t *testing.T, m *ir.Module) *dag.Graph {
@@ -164,23 +165,33 @@ func TestMultiplePinnedPaths(t *testing.T) {
 	}
 }
 
-func randomLeaf(rng *rand.Rand, nOps, nQubits int) *ir.Module {
-	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
-	for i := 0; i < nOps; i++ {
-		switch rng.Intn(4) {
-		case 0:
-			m.Gate(qasm.H, rng.Intn(nQubits))
-		case 1:
-			a := rng.Intn(nQubits)
-			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
-			m.Gate(qasm.CNOT, a, b)
-		case 2:
-			m.Gate(qasm.T, rng.Intn(nQubits))
-		default:
-			m.Rot(qasm.Rz, rng.Float64(), rng.Intn(nQubits))
+// TestDTooSmallForGateErrors pins the fix for a verifier-found bug: the
+// pinned-path and deadlock-avoidance placements used to skip the d
+// budget, so a 2-qubit gate landed in a d=1 region and produced an
+// illegal schedule. Infeasible d must error instead.
+func TestDTooSmallForGateErrors(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 2}})
+	m.Gate(qasm.H, 0)
+	m.Gate(qasm.CNOT, 0, 1)
+	g := build(t, m)
+	for _, opts := range []lpfs.Options{
+		{K: 2, D: 1},
+		{K: 1, D: 1, NoOptions: true}, // forced-placement path
+		{K: 2, D: 1, SIMD: true, Refill: true},
+	} {
+		s, err := lpfs.Schedule(m, g, opts)
+		if err == nil {
+			t.Errorf("opts %+v: accepted a 2-qubit gate with d=1: %d steps", opts, s.Length())
 		}
 	}
-	return m
+	// A d that fits still schedules and validates.
+	s, err := lpfs.Schedule(m, g, lpfs.Options{K: 2, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // Property: LPFS schedules are always valid and bounded by cp and op
@@ -203,7 +214,7 @@ func TestScheduleValidityQuick(t *testing.T) {
 		if k > 1 && optRaw%8 >= 4 {
 			opts.L = 2
 		}
-		m := randomLeaf(rng, 50, 6)
+		m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 50, Qubits: 6})
 		g, err := dag.Build(m)
 		if err != nil {
 			return false

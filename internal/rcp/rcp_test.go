@@ -9,6 +9,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/qasm"
 	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/verify"
 )
 
 func build(t *testing.T, m *ir.Module) *dag.Graph {
@@ -168,23 +169,24 @@ func TestLocalityPreference(t *testing.T) {
 	}
 }
 
-func randomLeaf(rng *rand.Rand, nOps, nQubits int) *ir.Module {
-	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
-	for i := 0; i < nOps; i++ {
-		switch rng.Intn(4) {
-		case 0:
-			m.Gate(qasm.H, rng.Intn(nQubits))
-		case 1:
-			a := rng.Intn(nQubits)
-			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
-			m.Gate(qasm.CNOT, a, b)
-		case 2:
-			m.Gate(qasm.T, rng.Intn(nQubits))
-		default:
-			m.Rot(qasm.Rz, rng.Float64(), rng.Intn(nQubits))
-		}
+// TestDTooSmallForGateErrors pins the infeasibility contract: a machine
+// whose d cannot fit a gate's operands must yield an error, never an
+// illegal schedule.
+func TestDTooSmallForGateErrors(t *testing.T) {
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 2}})
+	m.Gate(qasm.H, 0)
+	m.Gate(qasm.CNOT, 0, 1)
+	g := build(t, m)
+	if _, err := rcp.Schedule(m, g, rcp.Options{K: 2, D: 1}); err == nil {
+		t.Error("d=1 accepted a 2-qubit gate")
 	}
-	return m
+	s, err := rcp.Schedule(m, g, rcp.Options{K: 2, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // Property: RCP schedules are always valid, never beat the critical
@@ -193,7 +195,7 @@ func TestScheduleValidityQuick(t *testing.T) {
 	f := func(seed int64, kRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		k := int(kRaw%4) + 1
-		m := randomLeaf(rng, 50, 6)
+		m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 50, Qubits: 6})
 		g, err := dag.Build(m)
 		if err != nil {
 			return false
@@ -216,7 +218,7 @@ func TestScheduleValidityQuick(t *testing.T) {
 func TestMonotoneInKQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		m := randomLeaf(rng, 40, 5)
+		m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 40, Qubits: 5})
 		g, err := dag.Build(m)
 		if err != nil {
 			return false

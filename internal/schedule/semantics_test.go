@@ -5,38 +5,12 @@ import (
 	"testing"
 
 	"github.com/scaffold-go/multisimd/internal/dag"
-	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/lpfs"
-	"github.com/scaffold-go/multisimd/internal/qasm"
 	"github.com/scaffold-go/multisimd/internal/rcp"
 	"github.com/scaffold-go/multisimd/internal/schedule"
 	"github.com/scaffold-go/multisimd/internal/sim"
+	"github.com/scaffold-go/multisimd/internal/verify"
 )
-
-// randomUnitaryLeaf builds a random circuit from unitary gates only (no
-// measurement), suitable for state-vector comparison.
-func randomUnitaryLeaf(rng *rand.Rand, nOps, nQubits int) *ir.Module {
-	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
-	for i := 0; i < nOps; i++ {
-		switch rng.Intn(5) {
-		case 0:
-			m.Gate(qasm.H, rng.Intn(nQubits))
-		case 1:
-			a := rng.Intn(nQubits)
-			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
-			m.Gate(qasm.CNOT, a, b)
-		case 2:
-			m.Gate(qasm.T, rng.Intn(nQubits))
-		case 3:
-			m.Rot(qasm.Rz, rng.Float64()*3, rng.Intn(nQubits))
-		default:
-			a := rng.Intn(nQubits)
-			b := (a + 1 + rng.Intn(nQubits-1)) % nQubits
-			m.Gate(qasm.CZ, a, b)
-		}
-	}
-	return m
-}
 
 // runScheduledOrder applies the module's gates in schedule order
 // (timestep by timestep, region by region) to a state.
@@ -63,7 +37,7 @@ func TestScheduledOrderPreservesSemantics(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	const nQubits = 5
 	for trial := 0; trial < 25; trial++ {
-		m := randomUnitaryLeaf(rng, 60, nQubits)
+		m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 60, Qubits: nQubits})
 		g, err := dag.Build(m)
 		if err != nil {
 			t.Fatal(err)

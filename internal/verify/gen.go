@@ -1,0 +1,184 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+)
+
+// GenOptions shapes RandomLeaf's output. The zero value produces the
+// generator the scheduling tests historically used: 60 operations over a
+// 5-qubit register drawn from the unitary mix {H, CNOT, T, Rz, CZ}.
+type GenOptions struct {
+	// Ops is the number of gate operations (default 60).
+	Ops int
+	// Qubits is the register size (default 5, minimum 2; minimum 3 when
+	// Wide is set).
+	Qubits int
+	// Wide adds the three-qubit gates (Toffoli, Fredkin) and Swap to the
+	// mix. Leave unset for machines with d < 3.
+	Wide bool
+	// Measure adds PrepZ/MeasZ. Circuits with measurements schedule and
+	// analyze normally but cannot be replay-checked against a state
+	// vector, so the differential harness leaves this unset.
+	Measure bool
+}
+
+func (o GenOptions) ops() int {
+	if o.Ops <= 0 {
+		return 60
+	}
+	return o.Ops
+}
+
+func (o GenOptions) qubits() int {
+	q := o.Qubits
+	if q <= 0 {
+		q = 5
+	}
+	if q < 2 {
+		q = 2
+	}
+	if o.Wide && q < 3 {
+		q = 3
+	}
+	return q
+}
+
+// RandomLeaf builds a seeded random leaf module: a flat circuit over one
+// register, suitable for scheduling, communication analysis and — when
+// opts.Measure is unset — state-vector replay. It generalizes the ad-hoc
+// generators that grew inside the schedule, rcp and lpfs test suites;
+// those suites now draw from here so every layer fuzzes the same
+// distribution. Determinism: identical (rng stream, opts) yield
+// identical modules.
+func RandomLeaf(rng *rand.Rand, opts GenOptions) *ir.Module {
+	nOps, nQubits := opts.ops(), opts.qubits()
+	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
+
+	// distinct returns n distinct qubit indices.
+	distinct := func(n int) []int {
+		picked := make([]int, 0, n)
+		for len(picked) < n {
+			q := rng.Intn(nQubits)
+			dup := false
+			for _, p := range picked {
+				dup = dup || p == q
+			}
+			if !dup {
+				picked = append(picked, q)
+			}
+		}
+		return picked
+	}
+
+	for i := 0; i < nOps; i++ {
+		// The base mix keeps the historical five-way draw so existing
+		// seeds stay meaningful; extensions draw extra cases beyond it.
+		ways := 5
+		if opts.Wide {
+			ways += 3
+		}
+		if opts.Measure {
+			ways += 2
+		}
+		c := rng.Intn(ways)
+		if c >= 5 && !opts.Wide {
+			c += 3 // skip the wide cases straight to measurement
+		}
+		switch c {
+		case 0:
+			m.Gate(qasm.H, rng.Intn(nQubits))
+		case 1:
+			ab := distinct(2)
+			m.Gate(qasm.CNOT, ab[0], ab[1])
+		case 2:
+			m.Gate(qasm.T, rng.Intn(nQubits))
+		case 3:
+			m.Rot(qasm.Rz, rng.Float64()*3, rng.Intn(nQubits))
+		case 4:
+			ab := distinct(2)
+			m.Gate(qasm.CZ, ab[0], ab[1])
+		case 5:
+			abc := distinct(3)
+			m.Gate(qasm.Toffoli, abc[0], abc[1], abc[2])
+		case 6:
+			abc := distinct(3)
+			m.Gate(qasm.Fredkin, abc[0], abc[1], abc[2])
+		case 7:
+			ab := distinct(2)
+			m.Gate(qasm.Swap, ab[0], ab[1])
+		case 8:
+			m.Gate(qasm.PrepZ, rng.Intn(nQubits))
+		default:
+			m.Gate(qasm.MeasZ, rng.Intn(nQubits))
+		}
+	}
+	return m
+}
+
+// QASM renders a leaf module as a flat QASM-HL stream (declaration block
+// plus one instruction per line) — the text the toolflow's back end
+// emits. Fuzz corpora for the QASM reader seed from this.
+func QASM(m *ir.Module) (string, error) {
+	decl := make([]string, m.TotalSlots())
+	for s := range decl {
+		decl[s] = m.SlotName(s)
+	}
+	insts := make([]qasm.Inst, 0, len(m.Ops))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		if op.Kind != ir.GateOp {
+			return "", fmt.Errorf("verify: module %s op %d is a call, not QASM-HL", m.Name, i)
+		}
+		qs := make([]string, len(op.Args))
+		for j, s := range op.Args {
+			qs[j] = m.SlotName(s)
+		}
+		insts = append(insts, qasm.Inst{Op: op.Gate, Angle: op.Angle, Qubits: qs})
+	}
+	var sb strings.Builder
+	if err := qasm.Write(&sb, decl, insts); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Scaffold renders a leaf module as Scaffold-lite source with the module
+// as the program entry — generator output fed to the front end, and the
+// seed shape for the parser fuzz corpus.
+func Scaffold(m *ir.Module) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("module main() {\n")
+	for _, r := range append(append([]ir.Reg{}, m.Params...), m.Locals...) {
+		if r.Size == 1 {
+			fmt.Fprintf(&sb, "  qbit %s;\n", r.Name)
+		} else {
+			fmt.Fprintf(&sb, "  qbit %s[%d];\n", r.Name, r.Size)
+		}
+	}
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		if op.Kind != ir.GateOp {
+			return "", fmt.Errorf("verify: module %s op %d is a call, not a leaf gate", m.Name, i)
+		}
+		sb.WriteString("  ")
+		sb.WriteString(op.Gate.String())
+		sb.WriteByte('(')
+		for j, s := range op.Args {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(m.SlotName(s))
+		}
+		if op.Gate.IsRotation() {
+			fmt.Fprintf(&sb, ", %g", op.Angle)
+		}
+		sb.WriteString(");\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String(), nil
+}

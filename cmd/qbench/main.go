@@ -20,11 +20,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/scaffold-go/multisimd/internal/bench"
 	"github.com/scaffold-go/multisimd/internal/comm"
@@ -32,8 +36,15 @@ import (
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/numa"
+	"github.com/scaffold-go/multisimd/internal/obs"
+	"github.com/scaffold-go/multisimd/internal/obscli"
 	"github.com/scaffold-go/multisimd/internal/resource"
 )
+
+// observer instruments every evaluation of the run when any -trace /
+// -metrics / -decisions flag was given; buildWorkload stamps it on each
+// workload (nil = off).
+var observer *obs.Observer
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run: fig5, fig6, fig7, fig8, fig9, table1, table2, all")
@@ -41,9 +52,26 @@ func main() {
 	fth := flag.Int64("fth", 0, "flattening threshold override (0 = scale default)")
 	schedName := flag.String("sched", "lpfs", "scheduler for the extended experiments (registered: rcp, lpfs)")
 	workers := flag.Int("workers", 0, "evaluation concurrency (0 = GOMAXPROCS, 1 = serial)")
+	perfOut := flag.String("perf-out", "", "write per-benchmark BENCH_<name>.json perf records into this `dir` instead of running an experiment")
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *fth, *schedName, *workers); err != nil {
+	err := func() error {
+		var err error
+		observer, err = obsFlags.Setup(os.Stderr)
+		if err != nil {
+			return err
+		}
+		if *perfOut != "" {
+			return writePerfRecords(*perfOut, *schedName, *fth, *workers)
+		}
+		if err := run(*exp, *scale, *fth, *schedName, *workers); err != nil {
+			return err
+		}
+		return obsFlags.Finish(observer)
+	}()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qbench:", err)
 		os.Exit(1)
 	}
@@ -54,6 +82,7 @@ func run(exp, scale string, fth int64, schedName string, workers int) error {
 	if err != nil {
 		return err
 	}
+	sched = core.WithDecisionLog(sched, observer.D())
 	smallFTh := int64(2000)
 	if fth != 0 {
 		smallFTh = fth
@@ -433,6 +462,87 @@ func buildWorkload(b bench.Benchmark, fth int64, flatten bool, workers int) (cor
 	}
 	return core.Workload{
 		Name: b.Name, Params: b.Params, Prog: p,
-		Cache: core.NewEvalCache(), Workers: workers,
+		Cache: core.NewEvalCache(), Workers: workers, Obs: observer,
 	}, nil
+}
+
+// perfRecord is one benchmark's machine-readable performance summary,
+// written as BENCH_<name>.json by -perf-out for CI trend tracking.
+type perfRecord struct {
+	Benchmark      string          `json:"benchmark"`
+	Params         string          `json:"params"`
+	Scheduler      string          `json:"scheduler"`
+	K              int             `json:"k"`
+	ColdWallMS     float64         `json:"cold_wall_ms"`
+	WarmWallMS     float64         `json:"warm_wall_ms"`
+	CacheHitRate   float64         `json:"cache_hit_rate"`
+	CacheStats     core.CacheStats `json:"cache_stats"`
+	PeakGoroutines int64           `json:"peak_goroutines"`
+	SpeedupVsNaive float64         `json:"speedup_vs_naive"`
+	GoMaxProcs     int             `json:"gomaxprocs"`
+}
+
+// writePerfRecords evaluates each small benchmark twice at k=4 — a cold
+// run that fills the EvalCache and a warm run that should hit it — and
+// writes the wall times, cache behavior and worker-pool peak per
+// benchmark. Each benchmark gets a fresh cache and metrics registry so
+// records are independent.
+func writePerfRecords(dir, schedName string, fth int64, workers int) error {
+	sched, err := core.SchedulerByName(schedName)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if fth == 0 {
+		fth = 2000
+	}
+	for _, b := range bench.AllSmall() {
+		w, err := buildWorkload(b, fth, true, workers)
+		if err != nil {
+			return err
+		}
+		reg := obs.NewRegistry()
+		opts := core.EvalOptions{
+			Scheduler: sched, K: 4,
+			Cache: w.Cache, Workers: w.Workers,
+			Obs: &obs.Observer{Metrics: reg},
+		}
+		start := time.Now()
+		m, err := core.Evaluate(w.Prog, opts)
+		if err != nil {
+			return fmt.Errorf("%s cold: %w", b.Name, err)
+		}
+		cold := time.Since(start)
+		afterCold := w.Cache.Stats()
+		start = time.Now()
+		if _, err := core.Evaluate(w.Prog, opts); err != nil {
+			return fmt.Errorf("%s warm: %w", b.Name, err)
+		}
+		warm := time.Since(start)
+		warmStats := w.Cache.Stats().Sub(afterCold)
+		rec := perfRecord{
+			Benchmark: b.Name, Params: b.Params,
+			Scheduler: sched.Name(), K: 4,
+			ColdWallMS:     float64(cold.Microseconds()) / 1000,
+			WarmWallMS:     float64(warm.Microseconds()) / 1000,
+			CacheHitRate:   warmStats.CommHitRate(),
+			CacheStats:     w.Cache.Stats(),
+			PeakGoroutines: reg.Gauge("engine.workers.peak").Value(),
+			SpeedupVsNaive: m.SpeedupVsNaive(),
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
+		}
+		data, err := json.MarshalIndent(rec, "", " ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+b.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-10s cold %8.1fms  warm %8.1fms  hit rate %5.1f%%  -> %s\n",
+			b.Name, rec.ColdWallMS, rec.WarmWallMS, 100*rec.CacheHitRate, path)
+	}
+	return nil
 }

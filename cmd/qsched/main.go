@@ -20,6 +20,14 @@
 //	-verify          run the independent legality oracle over every leaf
 //	                 schedule and move list; failures name the module,
 //	                 step, region and op
+//
+// Observability (see DESIGN.md):
+//
+//	-trace out.json        Chrome trace-event timeline (Perfetto-loadable)
+//	-metrics-out m.json    JSON metrics snapshot on exit
+//	-metrics-addr :9090    live Prometheus endpoint during the run
+//	-pprof-addr :6060      live net/http/pprof endpoint during the run
+//	-decisions d.log       scheduler decision log (-decision-level step|op)
 package main
 
 import (
@@ -34,43 +42,67 @@ import (
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/epr"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obscli"
 )
 
-func main() {
-	schedName := flag.String("sched", "lpfs", "scheduler: rcp or lpfs")
-	k := flag.Int("k", 4, "SIMD regions")
-	d := flag.Int("d", 0, "data parallelism per region (0 = unlimited)")
-	local := flag.Int("local", 0, "scratchpad capacity per region (-1 = unlimited)")
-	fth := flag.Int64("fth", 2000, "flattening threshold")
-	entry := flag.String("entry", "main", "entry module")
-	benchName := flag.String("bench", "", "built-in benchmark name")
-	dump := flag.String("dump", "", "dump the fine-grained schedule of the named leaf module (timesteps, regions, move list)")
-	verifyFlag := flag.Bool("verify", false, "check every leaf schedule and move list with the legality oracle")
-	flag.Parse()
+// config gathers the full flag surface; one struct keeps run's
+// signature stable as options accrete.
+type config struct {
+	schedName string
+	k, d      int
+	local     int
+	fth       int64
+	entry     string
+	benchName string
+	dump      string
+	verify    bool
+	obs       obscli.Flags
+	args      []string
+}
 
-	if err := run(*schedName, *k, *d, *local, *fth, *entry, *benchName, *dump, *verifyFlag, flag.Args()); err != nil {
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.schedName, "sched", "lpfs", "scheduler: rcp or lpfs")
+	flag.IntVar(&cfg.k, "k", 4, "SIMD regions")
+	flag.IntVar(&cfg.d, "d", 0, "data parallelism per region (0 = unlimited)")
+	flag.IntVar(&cfg.local, "local", 0, "scratchpad capacity per region (-1 = unlimited)")
+	flag.Int64Var(&cfg.fth, "fth", 2000, "flattening threshold")
+	flag.StringVar(&cfg.entry, "entry", "main", "entry module")
+	flag.StringVar(&cfg.benchName, "bench", "", "built-in benchmark name")
+	flag.StringVar(&cfg.dump, "dump", "", "dump the fine-grained schedule of the named leaf module (timesteps, regions, move list)")
+	flag.BoolVar(&cfg.verify, "verify", false, "check every leaf schedule and move list with the legality oracle")
+	cfg.obs.Register(flag.CommandLine)
+	flag.Parse()
+	cfg.args = flag.Args()
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "qsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schedName string, k, d, local int, fth int64, entry, benchName, dump string, verify bool, args []string) error {
-	sched, err := core.SchedulerByName(schedName)
+func run(cfg config) error {
+	sched, err := core.SchedulerByName(cfg.schedName)
 	if err != nil {
 		return err
 	}
+	obsv, err := cfg.obs.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	sched = core.WithDecisionLog(sched, obsv.D())
 
 	var src string
-	opts := core.PipelineOptions{Entry: entry, FTh: fth}
+	opts := core.PipelineOptions{Entry: cfg.entry, FTh: cfg.fth, Obs: obsv}
 	switch {
-	case benchName != "":
-		b, ok := bench.ByName(benchName)
+	case cfg.benchName != "":
+		b, ok := bench.ByName(cfg.benchName)
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q", benchName)
+			return fmt.Errorf("unknown benchmark %q", cfg.benchName)
 		}
 		src = b.Source
-	case len(args) == 1:
-		data, err := os.ReadFile(args[0])
+	case len(cfg.args) == 1:
+		data, err := os.ReadFile(cfg.args[0])
 		if err != nil {
 			return err
 		}
@@ -83,25 +115,29 @@ func run(schedName string, k, d, local int, fth int64, entry, benchName, dump st
 	if err != nil {
 		return err
 	}
-	if dump != "" {
-		return dumpLeaf(prog, dump, sched, k, d, local)
+	if cfg.dump != "" {
+		return dumpLeaf(prog, cfg.dump, sched, cfg.k, cfg.d, cfg.local)
 	}
 	m, err := core.Evaluate(prog, core.EvalOptions{
 		Scheduler:     sched,
-		K:             k,
-		D:             d,
-		LocalCapacity: local,
-		Verify:        verify,
+		K:             cfg.k,
+		D:             cfg.d,
+		LocalCapacity: cfg.local,
+		Verify:        cfg.verify,
+		Obs:           obsv,
 	})
 	if err != nil {
 		return err
 	}
+	if err := cfg.obs.Finish(obsv); err != nil {
+		return err
+	}
 
 	fmt.Printf("scheduler:           %s\n", sched.Name())
-	if verify {
+	if cfg.verify {
 		fmt.Printf("verification:        every leaf schedule and move list legal\n")
 	}
-	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", k, dStr(d), capStr(local))
+	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", cfg.k, dStr(cfg.d), capStr(cfg.local))
 	fmt.Printf("modules / leaves:    %d / %d\n", m.Modules, m.Leaves)
 	fmt.Printf("total gates:         %d\n", m.TotalGates)
 	fmt.Printf("min qubits Q:        %d\n", m.MinQubits)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -9,35 +11,81 @@ import (
 	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
+// testConfig fills the defaults the flag declarations would.
+func testConfig(schedName, benchName, dump string, verify bool) config {
+	return config{
+		schedName: schedName, k: 4, local: -1, fth: 2000,
+		entry: "main", benchName: benchName, dump: dump, verify: verify,
+	}
+}
+
 func TestRunEvaluation(t *testing.T) {
 	for _, sched := range []string{"rcp", "lpfs"} {
-		if err := run(sched, 4, 0, -1, 2000, "main", "Grovers", "", false, nil); err != nil {
+		if err := run(testConfig(sched, "Grovers", "", false)); err != nil {
 			t.Errorf("%s: %v", sched, err)
 		}
 	}
 }
 
 func TestRunDump(t *testing.T) {
-	if err := run("lpfs", 2, 0, -1, 2000, "main", "BWT", "walk_step", false, nil); err != nil {
+	cfg := testConfig("lpfs", "BWT", "walk_step", false)
+	cfg.k = 2
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig("lpfs", "Grovers", "", false)
+	cfg.obs.Trace = dir + "/trace.json"
+	cfg.obs.MetricsOut = dir + "/metrics.json"
+	cfg.obs.Decisions = dir + "/decisions.log"
+	cfg.obs.DecisionLevel = "op"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cfg.obs.Trace, cfg.obs.MetricsOut, cfg.obs.Decisions} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	data, _ := os.ReadFile(cfg.obs.Trace)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("-trace output has no events")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("quantum", 4, 0, 0, 2000, "main", "Grovers", "", false, nil); err == nil {
+	if err := run(testConfig("quantum", "Grovers", "", false)); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
-	if err := run("lpfs", 4, 0, 0, 2000, "main", "", "", false, nil); err == nil {
+	if err := run(testConfig("lpfs", "", "", false)); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("lpfs", 4, 0, 0, 2000, "main", "NotABench", "", false, nil); err == nil {
+	if err := run(testConfig("lpfs", "NotABench", "", false)); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "no_such_module", false, nil); err == nil {
+	if err := run(testConfig("lpfs", "BWT", "no_such_module", false)); err == nil {
 		t.Error("unknown dump module accepted")
 	}
-	if err := run("lpfs", 2, 0, 0, 2000, "main", "BWT", "main", false, nil); err == nil {
+	if err := run(testConfig("lpfs", "BWT", "main", false)); err == nil {
 		t.Error("non-leaf dump accepted")
+	}
+	bad := testConfig("lpfs", "Grovers", "", false)
+	bad.obs.DecisionLevel = "verbose"
+	if err := run(bad); err == nil {
+		t.Error("bad -decision-level accepted")
 	}
 }
 
@@ -45,7 +93,7 @@ func TestRunErrors(t *testing.T) {
 // legality oracle on a benchmark run.
 func TestRunVerify(t *testing.T) {
 	for _, sched := range []string{"rcp", "lpfs"} {
-		if err := run(sched, 4, 0, -1, 2000, "main", "Grovers", "", true, nil); err != nil {
+		if err := run(testConfig(sched, "Grovers", "", true)); err != nil {
 			t.Errorf("%s -verify: %v", sched, err)
 		}
 	}
@@ -73,7 +121,7 @@ func init() { schedule.Register(evilScheduler{}) }
 // run with a located (module, step, op) diagnostic, and must sail
 // through unnoticed when verification is off.
 func TestRunVerifyRejectsIllegalSchedule(t *testing.T) {
-	err := run("evil", 4, 0, 0, 2000, "main", "Grovers", "", true, nil)
+	err := run(testConfig("evil", "Grovers", "", true))
 	if err == nil {
 		t.Fatal("-verify accepted a reverse-order schedule")
 	}
@@ -85,7 +133,7 @@ func TestRunVerifyRejectsIllegalSchedule(t *testing.T) {
 	}
 	// Without -verify the illegal schedule goes undetected — the very
 	// gap the oracle exists to close.
-	if err := run("evil", 4, 0, 0, 2000, "main", "Grovers", "", false, nil); err != nil {
+	if err := run(testConfig("evil", "Grovers", "", false)); err != nil {
 		t.Errorf("unverified run surfaced an unexpected error: %v", err)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 )
 
 // Dims is a blackbox's flexible dimensions: Widths[i] and Lengths[i]
@@ -81,6 +82,11 @@ type Options struct {
 	K    int
 	Cost CostModel
 	Dims func(callee string) (Dims, error)
+
+	// Trace, when non-nil, records a span per coarse scheduling run
+	// (category "coarse", named after the module) carrying the chosen
+	// length and placement count. Nil is free.
+	Trace *obs.Tracer
 }
 
 // Placement records where one coarse op landed.
@@ -109,6 +115,16 @@ func Schedule(m *ir.Module, opts Options) (*Result, error) {
 
 	n := len(m.Ops)
 	res := &Result{}
+	if opts.Trace.Enabled() {
+		sp := opts.Trace.Span("coarse", m.Name)
+		sp.SetInt("k", int64(opts.K))
+		sp.SetInt("ops", int64(n))
+		defer func() {
+			sp.SetInt("length", res.Length)
+			sp.SetInt("width", int64(res.Width))
+			sp.End()
+		}()
+	}
 	if n == 0 {
 		return res, nil
 	}

@@ -144,6 +144,18 @@ type Result struct {
 	PeakEPRBandwidth int
 }
 
+// StallCycles is the total communication overhead charged on top of the
+// bare timestep count: the EPR-stall cycles the movement model could not
+// hide behind idle windows (plus wave-serialization overflow under a
+// finite EPR bandwidth). Equals Cycles - len(Boundaries).
+func (r *Result) StallCycles() int64 {
+	var total int64
+	for _, o := range r.Overhead {
+		total += int64(o)
+	}
+	return total
+}
+
 type use struct {
 	step   int32
 	region int32

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/ir"
@@ -51,6 +52,31 @@ type CacheStats struct {
 	CommEntries  int
 }
 
+// CommHitRate is the comm-layer hit fraction (0 when the layer is
+// untouched), the headline number of qbench's perf records.
+func (s CacheStats) CommHitRate() float64 {
+	total := s.CommHits + s.CommMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CommHits) / float64(total)
+}
+
+// Sub returns the per-layer traffic accumulated since an earlier
+// snapshot (entry counts are carried over as-is — they are absolute).
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{
+		CommHits:     s.CommHits - earlier.CommHits,
+		CommMisses:   s.CommMisses - earlier.CommMisses,
+		SchedHits:    s.SchedHits - earlier.SchedHits,
+		SchedMisses:  s.SchedMisses - earlier.SchedMisses,
+		CPHits:       s.CPHits - earlier.CPHits,
+		CPMisses:     s.CPMisses - earlier.CPMisses,
+		SchedEntries: s.SchedEntries,
+		CommEntries:  s.CommEntries,
+	}
+}
+
 // EvalCache memoizes leaf characterizations across Evaluate calls. It is
 // safe for concurrent use — the evaluation engine's workers read and
 // write it while fanning out — and transparent: a warm cache returns
@@ -67,12 +93,18 @@ type CacheStats struct {
 //   - the schedule layer caches zero-communication schedules, hit when
 //     only comm options changed (fig8's local-capacity sweep), so only
 //     the cheap comm.Analyze re-runs.
+//
+// Hit/miss traffic is counted per layer in atomic counters, read via
+// Stats without perturbing concurrent lookups.
 type EvalCache struct {
 	mu     sync.Mutex
 	scheds map[schedKey]*schedule.Schedule
 	comms  map[commKey]commEntry
 	cps    map[ir.Fingerprint]int64
-	stats  CacheStats
+
+	commHits, commMisses   atomic.Int64
+	schedHits, schedMisses atomic.Int64
+	cpHits, cpMisses       atomic.Int64
 }
 
 // NewEvalCache returns an empty cache.
@@ -87,23 +119,35 @@ func NewEvalCache() *EvalCache {
 // Stats snapshots the hit/miss counters and entry counts.
 func (c *EvalCache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.SchedEntries = len(c.scheds)
-	s.CommEntries = len(c.comms)
-	return s
+	se, ce := len(c.scheds), len(c.comms)
+	c.mu.Unlock()
+	return CacheStats{
+		CommHits:     c.commHits.Load(),
+		CommMisses:   c.commMisses.Load(),
+		SchedHits:    c.schedHits.Load(),
+		SchedMisses:  c.schedMisses.Load(),
+		CPHits:       c.cpHits.Load(),
+		CPMisses:     c.cpMisses.Load(),
+		SchedEntries: se,
+		CommEntries:  ce,
+	}
+}
+
+// hit increments h on ok, m otherwise, and passes ok through.
+func hit(ok bool, h, m *atomic.Int64) bool {
+	if ok {
+		h.Add(1)
+	} else {
+		m.Add(1)
+	}
+	return ok
 }
 
 func (c *EvalCache) commResult(k commKey) (commEntry, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.comms[k]
-	if ok {
-		c.stats.CommHits++
-	} else {
-		c.stats.CommMisses++
-	}
-	return e, ok
+	c.mu.Unlock()
+	return e, hit(ok, &c.commHits, &c.commMisses)
 }
 
 func (c *EvalCache) putCommResult(k commKey, e commEntry) {
@@ -114,14 +158,9 @@ func (c *EvalCache) putCommResult(k commKey, e commEntry) {
 
 func (c *EvalCache) schedule(k schedKey) (*schedule.Schedule, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s, ok := c.scheds[k]
-	if ok {
-		c.stats.SchedHits++
-	} else {
-		c.stats.SchedMisses++
-	}
-	return s, ok
+	c.mu.Unlock()
+	return s, hit(ok, &c.schedHits, &c.schedMisses)
 }
 
 func (c *EvalCache) putSchedule(k schedKey, s *schedule.Schedule) {
@@ -132,14 +171,9 @@ func (c *EvalCache) putSchedule(k schedKey, s *schedule.Schedule) {
 
 func (c *EvalCache) criticalPath(fp ir.Fingerprint) (int64, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	cp, ok := c.cps[fp]
-	if ok {
-		c.stats.CPHits++
-	} else {
-		c.stats.CPMisses++
-	}
-	return cp, ok
+	c.mu.Unlock()
+	return cp, hit(ok, &c.cpHits, &c.cpMisses)
 }
 
 func (c *EvalCache) putCriticalPath(fp ir.Fingerprint, cp int64) {

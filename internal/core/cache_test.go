@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// TestCacheLayerAccounting drives each cache layer directly: a lookup
+// before a put counts a miss, after a put counts a hit, and the layers
+// never bleed into each other's counters.
+func TestCacheLayerAccounting(t *testing.T) {
+	c := NewEvalCache()
+	fp := ir.Fingerprint{1, 2, 3}
+	sk := schedKey{fp: fp, config: "test", w: 4, d: 0}
+	ck := commKey{sk: sk, comm: comm.Options{LocalCapacity: -1}}
+
+	if _, ok := c.schedule(sk); ok {
+		t.Fatal("empty cache returned a schedule")
+	}
+	c.putSchedule(sk, &schedule.Schedule{K: 4})
+	if s, ok := c.schedule(sk); !ok || s.K != 4 {
+		t.Fatal("put schedule not returned")
+	}
+	if _, ok := c.commResult(ck); ok {
+		t.Fatal("empty comm layer returned an entry")
+	}
+	c.putCommResult(ck, commEntry{zeroLen: 7, cycles: 21})
+	if e, ok := c.commResult(ck); !ok || e.cycles != 21 {
+		t.Fatal("put comm entry not returned")
+	}
+	if _, ok := c.criticalPath(fp); ok {
+		t.Fatal("empty cp layer returned an entry")
+	}
+	c.putCriticalPath(fp, 99)
+	if cp, ok := c.criticalPath(fp); !ok || cp != 99 {
+		t.Fatal("put critical path not returned")
+	}
+
+	want := CacheStats{
+		CommHits: 1, CommMisses: 1,
+		SchedHits: 1, SchedMisses: 1,
+		CPHits: 1, CPMisses: 1,
+		SchedEntries: 1, CommEntries: 1,
+	}
+	if got := c.Stats(); got != want {
+		t.Errorf("Stats() = %+v, want %+v", got, want)
+	}
+}
+
+// TestCacheKeyDiscrimination pins the layering: a different comm option
+// misses the comm layer while the same schedKey still hits the schedule
+// layer (the fig8 sweep fast path), and a different width misses both.
+func TestCacheKeyDiscrimination(t *testing.T) {
+	c := NewEvalCache()
+	sk := schedKey{config: "rcp", w: 4}
+	c.putSchedule(sk, &schedule.Schedule{K: 4})
+	c.putCommResult(commKey{sk: sk}, commEntry{cycles: 5})
+
+	if _, ok := c.commResult(commKey{sk: sk, comm: comm.Options{LocalCapacity: 8}}); ok {
+		t.Error("comm layer hit across different comm options")
+	}
+	if _, ok := c.schedule(sk); !ok {
+		t.Error("schedule layer missed its exact key")
+	}
+	if _, ok := c.schedule(schedKey{config: "rcp", w: 2}); ok {
+		t.Error("schedule layer hit across different widths")
+	}
+	st := c.Stats()
+	if st.SchedHits != 1 || st.SchedMisses != 1 || st.CommMisses != 1 {
+		t.Errorf("unexpected traffic: %+v", st)
+	}
+}
+
+// TestCacheStatsHelpers checks the Sub delta and the hit-rate maths.
+func TestCacheStatsHelpers(t *testing.T) {
+	a := CacheStats{CommHits: 10, CommMisses: 2, SchedHits: 4, SchedEntries: 3, CommEntries: 5}
+	b := CacheStats{CommHits: 4, CommMisses: 1, SchedHits: 1}
+	d := a.Sub(b)
+	if d.CommHits != 6 || d.CommMisses != 1 || d.SchedHits != 3 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if d.SchedEntries != 3 || d.CommEntries != 5 {
+		t.Errorf("Sub dropped absolute entry counts: %+v", d)
+	}
+	if got := (CacheStats{CommHits: 3, CommMisses: 1}).CommHitRate(); got != 0.75 {
+		t.Errorf("CommHitRate = %v, want 0.75", got)
+	}
+	if got := (CacheStats{}).CommHitRate(); got != 0 {
+		t.Errorf("CommHitRate of empty stats = %v, want 0", got)
+	}
+}
+
+// TestCacheCountersConcurrent hammers both layers from many goroutines
+// so -race exercises the atomic counters, then checks totals.
+func TestCacheCountersConcurrent(t *testing.T) {
+	c := NewEvalCache()
+	sk := schedKey{config: "x", w: 1}
+	c.putSchedule(sk, &schedule.Schedule{K: 1})
+	c.putCommResult(commKey{sk: sk}, commEntry{})
+	const goroutines, iters = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				c.schedule(sk)                    // hit
+				c.schedule(schedKey{config: "y"}) // miss
+				c.commResult(commKey{sk: sk})     // hit
+				c.commResult(commKey{})           // miss
+				c.criticalPath(ir.Fingerprint{1}) // miss
+				c.putCriticalPath(ir.Fingerprint{1}, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	n := int64(goroutines * iters)
+	if st.SchedHits != n || st.SchedMisses != n || st.CommHits != n || st.CommMisses != n {
+		t.Errorf("lost counts under concurrency: %+v (want %d per column)", st, n)
+	}
+	if st.CPHits+st.CPMisses != n {
+		t.Errorf("cp traffic %d+%d, want total %d", st.CPHits, st.CPMisses, n)
+	}
+}

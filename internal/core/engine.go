@@ -10,6 +10,13 @@ package core
 // consumed). Determinism: schedulers are deterministic and every result
 // lands in a pre-assigned slot, so Metrics are identical at any worker
 // count and on any cache temperature.
+//
+// Observability (EvalOptions.Obs) threads through here: every pool task
+// traces a span on its worker slot's track, fresh schedules and comm
+// analyses feed the metrics registry, and verifier rejections count and
+// mark the trace. All of it is nil-guarded — a run without an Observer
+// takes only nil checks (see TestDisabled*AllocatesNothing in
+// internal/obs).
 
 import (
 	"fmt"
@@ -20,6 +27,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/verify"
 )
 
@@ -41,6 +49,47 @@ type engine struct {
 	comm   comm.Options
 	widths []int
 	cache  *EvalCache
+	eo     engObs
+}
+
+// engObs is the engine's pre-resolved observability handles: the tracer
+// plus every instrument it updates, looked up once per run so the hot
+// path never touches the registry's name map. All fields may be nil
+// (instrument methods no-op on nil receivers).
+type engObs struct {
+	tr *obs.Tracer
+
+	tasks      *obs.Counter // pool tasks executed
+	schedFresh *obs.Counter // schedules computed (cache misses)
+	schedSteps *obs.Counter // timesteps across fresh schedules
+	commGlobal *obs.Counter // teleports across fresh comm analyses
+	commLocal  *obs.Counter // local moves across fresh comm analyses
+	commStall  *obs.Counter // EPR-stall overhead cycles across fresh analyses
+	verifyRej  *obs.Counter // legality-oracle rejections
+
+	queueDepth  *obs.Gauge // tasks not yet claimed by a worker
+	workersPeak *obs.Gauge // peak concurrently running pool tasks
+
+	opsPerStep *obs.Histogram // ops scheduled per timestep (fresh schedules)
+}
+
+func newEngObs(o *obs.Observer) engObs {
+	eo := engObs{tr: o.T()}
+	r := o.M()
+	if r == nil {
+		return eo
+	}
+	eo.tasks = r.Counter("engine.tasks")
+	eo.schedFresh = r.Counter("sched.fresh")
+	eo.schedSteps = r.Counter("sched.steps")
+	eo.commGlobal = r.Counter("comm.global_moves")
+	eo.commLocal = r.Counter("comm.local_moves")
+	eo.commStall = r.Counter("comm.stall_cycles")
+	eo.verifyRej = r.Counter("verify.rejections")
+	eo.queueDepth = r.Gauge("engine.queue.depth")
+	eo.workersPeak = r.Gauge("engine.workers.peak")
+	eo.opsPerStep = r.Histogram("sched.ops_per_step")
+	return eo
 }
 
 func newEngine(p *ir.Program, opts EvalOptions) *engine {
@@ -59,6 +108,7 @@ func newEngine(p *ir.Program, opts EvalOptions) *engine {
 		comm:   opts.comm(),
 		widths: widthSet(opts.K),
 		cache:  cache,
+		eo:     newEngObs(opts.Obs),
 	}
 }
 
@@ -92,7 +142,12 @@ func (e *engine) run(order []string, m *Metrics) (map[string]*moduleEval, error)
 		}
 	}
 
-	if err := e.evalLeaves(leaves); err != nil {
+	lsp := e.eo.tr.Span("engine", "characterize-leaves")
+	lsp.SetInt("leaves", int64(len(leaves)))
+	lsp.SetInt("widths", int64(len(e.widths)))
+	err := e.evalLeaves(leaves)
+	lsp.End()
+	if err != nil {
 		return nil, err
 	}
 	for _, ls := range leaves {
@@ -102,17 +157,25 @@ func (e *engine) run(order []string, m *Metrics) (map[string]*moduleEval, error)
 	// Non-leaf composition consumes child dims, so it follows the
 	// topological order; the coarse scheduler is cheap relative to leaf
 	// characterization, so it stays serial.
+	csp := e.eo.tr.Span("engine", "compose")
 	for _, name := range order {
 		mod := e.p.Modules[name]
 		if mod.IsLeaf() {
 			continue
 		}
-		ev, err := evalNonLeaf(e.p, mod, e.widths, evals)
+		var msp obs.Span
+		if e.eo.tr.Enabled() {
+			msp = e.eo.tr.Span("compose", name)
+		}
+		ev, err := evalNonLeaf(e.p, mod, e.widths, evals, e.eo.tr)
+		msp.End()
 		if err != nil {
+			csp.End()
 			return nil, fmt.Errorf("core: module %s: %w", name, err)
 		}
 		evals[name] = ev
 	}
+	csp.End()
 	return evals, nil
 }
 
@@ -172,23 +235,52 @@ func (ls *leafState) assemble(widths []int) *moduleEval {
 }
 
 // evalLeaves characterizes every (leaf, width) point on the worker pool.
+// Each task traces a span on its worker slot's track (tid = slot + 1;
+// tid 0 is the coordinating goroutine), so the trace shows pool
+// utilization as a timeline; a running-task high-water mark and the
+// unclaimed-queue depth feed the registry.
 func (e *engine) evalLeaves(leaves []*leafState) error {
 	nW := len(e.widths)
 	n := len(leaves) * nW
-	task := func(i int) error {
+	workers := e.opts.workers()
+	if e.eo.tr.Enabled() {
+		e.eo.tr.SetThreadName(0, "main")
+		nw := workers
+		if nw > n {
+			nw = n
+		}
+		for s := 0; s < nw; s++ {
+			e.eo.tr.SetThreadName(int64(s+1), fmt.Sprintf("worker-%02d", s))
+		}
+	}
+	var running atomic.Int64
+	task := func(slot, i int) error {
 		ls := leaves[i/nW]
-		if err := e.characterize(ls, i%nW); err != nil {
+		wi := i % nW
+		e.eo.tasks.Inc()
+		e.eo.queueDepth.Set(int64(n - 1 - i))
+		e.eo.workersPeak.Max(running.Add(1))
+		defer running.Add(-1)
+		var sp obs.Span
+		if e.eo.tr.Enabled() {
+			sp = e.eo.tr.SpanTID("leaf", fmt.Sprintf("%s w=%d", ls.name, e.widths[wi]), int64(slot+1))
+		}
+		err := e.characterize(ls, wi, &sp)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("core: module %s: %w", ls.name, err)
 		}
 		return nil
 	}
-	return runTasks(n, e.opts.workers(), task)
+	return runTasks(n, workers, task)
 }
 
 // characterize fills one leaf's width slot, consulting the cache layers
 // outermost-first: a comm hit is free; a schedule hit re-runs only
 // comm.Analyze; a miss schedules and analyzes, then populates both.
-func (e *engine) characterize(ls *leafState, wi int) error {
+// sp is the task's trace span, annotated with which layer served the
+// point (inert when tracing is off).
+func (e *engine) characterize(ls *leafState, wi int, sp *obs.Span) error {
 	if wi == 0 {
 		cp, ok := e.cache.criticalPath(ls.fp)
 		if !ok {
@@ -208,11 +300,13 @@ func (e *engine) characterize(ls *leafState, wi int) error {
 	// Verification re-derives the move list, so it bypasses the warm
 	// fast path: a cached result may predate the oracle.
 	if ce, ok := e.cache.commResult(ck); ok && !e.opts.Verify {
+		sp.SetStr("cache", "comm-hit")
 		ls.slots[wi] = ce
 		return nil
 	}
 	s, ok := e.cache.schedule(sk)
 	if !ok {
+		sp.SetStr("cache", "miss")
 		mat, g, err := ls.graph(e.opts.materializeLimit())
 		if err != nil {
 			return err
@@ -221,11 +315,32 @@ func (e *engine) characterize(ls *leafState, wi int) error {
 			return err
 		}
 		e.cache.putSchedule(sk, s)
+		e.eo.schedFresh.Inc()
+		e.eo.schedSteps.Add(int64(len(s.Steps)))
+		if e.eo.opsPerStep != nil {
+			for _, st := range s.Steps {
+				var ops int64
+				for _, reg := range st.Regions {
+					ops += int64(len(reg))
+				}
+				e.eo.opsPerStep.Observe(ops)
+			}
+		}
+	} else {
+		sp.SetStr("cache", "sched-hit")
 	}
 	res, err := comm.Analyze(s, e.comm)
 	if err != nil {
 		return err
 	}
+	e.eo.commGlobal.Add(res.GlobalMoves)
+	e.eo.commLocal.Add(res.LocalMoves)
+	e.eo.commStall.Add(res.StallCycles())
+	sp.SetInt("steps", int64(s.Length()))
+	sp.SetInt("cycles", res.Cycles)
+	sp.SetInt("global_moves", res.GlobalMoves)
+	sp.SetInt("local_moves", res.LocalMoves)
+	sp.SetInt("stall_cycles", res.StallCycles())
 	if e.opts.Verify {
 		// The cached schedule may hang off a structurally identical
 		// module from another leaf (content-addressed keys); the DAG
@@ -235,6 +350,8 @@ func (e *engine) characterize(ls *leafState, wi int) error {
 			return err
 		}
 		if err := verify.Full(s, g, res, e.comm); err != nil {
+			e.eo.verifyRej.Inc()
+			e.eo.tr.Instant("verify", "rejection: "+ls.name, 0)
 			return fmt.Errorf("width %d: %w", w, err)
 		}
 	}
@@ -249,20 +366,21 @@ func (e *engine) characterize(ls *leafState, wi int) error {
 	return nil
 }
 
-// runTasks executes task(0..n-1) on up to `workers` goroutines. With one
-// worker it degenerates to today's serial loop — no goroutines, stop at
-// the first error. In parallel mode workers claim indices in order from
-// an atomic counter; on error the pool drains and the error with the
-// lowest task index is returned, which is the same error the serial
-// path would have surfaced (tasks are deterministic, and every index
-// below a claimed one has itself been claimed).
-func runTasks(n, workers int, task func(i int) error) error {
+// runTasks executes task(slot, 0..n-1) on up to `workers` goroutines;
+// slot identifies the executing worker (0-based, stable per goroutine).
+// With one worker it degenerates to today's serial loop — no goroutines,
+// stop at the first error. In parallel mode workers claim indices in
+// order from an atomic counter; on error the pool drains and the error
+// with the lowest task index is returned, which is the same error the
+// serial path would have surfaced (tasks are deterministic, and every
+// index below a claimed one has itself been claimed).
+func runTasks(n, workers int, task func(slot, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
+			if err := task(0, i); err != nil {
 				return err
 			}
 		}
@@ -280,14 +398,14 @@ func runTasks(n, workers int, task func(i int) error) error {
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for !stopped.Load() {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				if err := task(i); err != nil {
+				if err := task(slot, i); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, firstEr = i, err
@@ -297,7 +415,7 @@ func runTasks(n, workers int, task func(i int) error) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstEr

@@ -9,6 +9,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/rcp"
 	"github.com/scaffold-go/multisimd/internal/resource"
 	"github.com/scaffold-go/multisimd/internal/schedule"
@@ -36,6 +37,23 @@ func SchedulerByName(name string) (Scheduler, error) {
 	}
 	return nil, fmt.Errorf("core: unknown scheduler %q (registered: %s)",
 		name, strings.Join(schedule.Names(), ", "))
+}
+
+// WithDecisionLog returns s with the introspection log attached, when
+// the scheduler supports one (the rcp and lpfs adapters do). Schedulers
+// without the hook — and a nil log — pass through unchanged, so callers
+// can apply it unconditionally. Decision logging does not alter
+// schedules; the log is excluded from cache-key configuration strings.
+func WithDecisionLog(s Scheduler, l *obs.DecisionLog) Scheduler {
+	if l == nil || s == nil {
+		return s
+	}
+	if w, ok := s.(interface {
+		WithDecisionLog(*obs.DecisionLog) schedule.Scheduler
+	}); ok {
+		return w.WithDecisionLog(l)
+	}
+	return s
 }
 
 // EvalOptions configures a hierarchical evaluation run.
@@ -80,6 +98,15 @@ type EvalOptions struct {
 	// even on warm cache entries; the engine's tests and the qsched
 	// -verify flag turn it on, perf-sensitive sweeps leave it off.
 	Verify bool
+
+	// Obs, when non-nil, receives the run's observability streams: a
+	// span per pipeline phase, engine stage and worker-pool task on
+	// Obs.Trace; cache, schedule, movement and verifier instruments on
+	// Obs.Metrics (names in DESIGN.md); nothing on Obs.Decisions — the
+	// scheduler decision log attaches to the scheduler itself (see
+	// WithDecisionLog). Nil disables all instrumentation at the cost of
+	// nil checks only.
+	Obs *obs.Observer
 
 	// Workers bounds the engine's leaf-characterization concurrency:
 	// 0 uses runtime.GOMAXPROCS(0), 1 runs the serial path. Results are
@@ -217,21 +244,45 @@ func Evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
 	if opts.K < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1")
 	}
+	e := newEngine(p, opts)
+	statsBefore := e.cache.Stats()
+	esp := e.eo.tr.Span("engine", "evaluate")
+	esp.SetInt("k", int64(opts.K))
+	esp.SetStr("scheduler", e.sched.Name())
+	m, err := e.evaluate(p, opts)
+	if m != nil {
+		esp.SetInt("comm_cycles", m.CommCycles)
+	}
+	esp.End()
+	if err != nil {
+		return nil, err
+	}
+	e.publish(m, statsBefore)
+	return m, nil
+}
+
+// evaluate is Evaluate's body, separated so the run span brackets it.
+func (e *engine) evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
+	rsp := e.eo.tr.Span("engine", "resource")
 	est, err := resource.New(p)
 	if err != nil {
+		rsp.End()
 		return nil, err
 	}
 	m := &Metrics{}
 	if m.TotalGates, err = est.TotalGates(); err != nil {
+		rsp.End()
 		return nil, err
 	}
 	if m.MinQubits, err = est.MinQubits(); err != nil {
+		rsp.End()
 		return nil, err
 	}
+	rsp.End()
 	m.SeqCycles = m.TotalGates
 	m.NaiveCycles = comm.NaiveCycles(m.TotalGates)
 
-	evals, err := newEngine(p, opts).run(est.Reachable(), m)
+	evals, err := e.run(est.Reachable(), m)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +306,36 @@ func Evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
 	return m, nil
 }
 
+// publish pushes the run's results into the metrics registry: the
+// final Metrics as eval.* gauges (so a -metrics-out snapshot agrees
+// with the printed report by construction) and this run's cache-layer
+// traffic as eval_cache.* counters.
+func (e *engine) publish(m *Metrics, before CacheStats) {
+	r := e.opts.Obs.M()
+	if r == nil {
+		return
+	}
+	d := e.cache.Stats().Sub(before)
+	r.Counter("eval_cache.comm.hits").Add(d.CommHits)
+	r.Counter("eval_cache.comm.misses").Add(d.CommMisses)
+	r.Counter("eval_cache.sched.hits").Add(d.SchedHits)
+	r.Counter("eval_cache.sched.misses").Add(d.SchedMisses)
+	r.Counter("eval_cache.cp.hits").Add(d.CPHits)
+	r.Counter("eval_cache.cp.misses").Add(d.CPMisses)
+	r.Gauge("eval_cache.sched.entries").Set(int64(d.SchedEntries))
+	r.Gauge("eval_cache.comm.entries").Set(int64(d.CommEntries))
+
+	r.Gauge("eval.total_gates").Set(m.TotalGates)
+	r.Gauge("eval.min_qubits").Set(m.MinQubits)
+	r.Gauge("eval.modules").Set(int64(m.Modules))
+	r.Gauge("eval.leaves").Set(int64(m.Leaves))
+	r.Gauge("eval.critical_path").Set(m.CriticalPath)
+	r.Gauge("eval.zero_comm_steps").Set(m.ZeroCommSteps)
+	r.Gauge("eval.comm_cycles").Set(m.CommCycles)
+	r.Gauge("eval.global_moves").Set(m.GlobalMoves)
+	r.Gauge("eval.local_moves").Set(m.LocalMoves)
+}
+
 // widthSet picks the blackbox widths characterized per module: all
 // widths up to 8 regions, powers of two beyond (plus k itself).
 func widthSet(k int) []int {
@@ -273,7 +354,7 @@ func widthSet(k int) []int {
 
 // evalNonLeaf characterizes a non-leaf via coarse scheduling over its
 // callees' cached dims.
-func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, evals map[string]*moduleEval) (*moduleEval, error) {
+func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, evals map[string]*moduleEval, tr *obs.Tracer) (*moduleEval, error) {
 	ev := &moduleEval{}
 	dimsZero := func(callee string) (coarse.Dims, error) {
 		c := evals[callee]
@@ -290,11 +371,11 @@ func evalNonLeaf(p *ir.Program, mod *ir.Module, widths []int, evals map[string]*
 		return c.withComm, nil
 	}
 	for _, w := range widths {
-		rz, err := coarse.Schedule(mod, coarse.Options{K: w, Cost: coarse.ZeroComm, Dims: dimsZero})
+		rz, err := coarse.Schedule(mod, coarse.Options{K: w, Cost: coarse.ZeroComm, Dims: dimsZero, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
-		rc, err := coarse.Schedule(mod, coarse.Options{K: w, Cost: coarse.WithComm, Dims: dimsComm})
+		rc, err := coarse.Schedule(mod, coarse.Options{K: w, Cost: coarse.WithComm, Dims: dimsComm, Trace: tr})
 		if err != nil {
 			return nil, err
 		}

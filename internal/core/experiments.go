@@ -9,6 +9,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/flatten"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/resource"
 )
 
@@ -28,13 +29,17 @@ type Workload struct {
 	// Workers overrides the engine's leaf-characterization concurrency
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical either way.
 	Workers int
+	// Obs, when non-nil, instruments every Evaluate the drivers run for
+	// this workload (spans + metrics; see EvalOptions.Obs).
+	Obs *obs.Observer
 }
 
-// evalOptions stamps the workload's cache and concurrency settings onto
-// a driver's base evaluation options.
+// evalOptions stamps the workload's cache, concurrency and
+// observability settings onto a driver's base evaluation options.
 func (w Workload) evalOptions(o EvalOptions) EvalOptions {
 	o.Cache = w.Cache
 	o.Workers = w.Workers
+	o.Obs = w.Obs
 	return o
 }
 

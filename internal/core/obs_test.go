@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/obs"
+)
+
+// TestEvaluateObservability is the acceptance check that the metrics
+// snapshot agrees with the Metrics Evaluate returns, and that the trace
+// a run emits is well-formed Chrome trace-event JSON.
+func TestEvaluateObservability(t *testing.T) {
+	progs := engineWorkloads(t)
+	p := progs["Grovers"]
+	if p == nil {
+		t.Fatal("no Grovers workload")
+	}
+	o := &obs.Observer{
+		Trace:     obs.NewTracer(),
+		Metrics:   obs.NewRegistry(),
+		Decisions: obs.NewDecisionLog(obs.LevelOp),
+	}
+	cache := core.NewEvalCache()
+	opts := core.EvalOptions{
+		Scheduler: core.WithDecisionLog(core.LPFS, o.Decisions),
+		K:         4,
+		Cache:     cache,
+		Obs:       o,
+	}
+	m, err := core.Evaluate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := o.Metrics
+	for _, g := range []struct {
+		name string
+		want int64
+	}{
+		{"eval.total_gates", m.TotalGates},
+		{"eval.min_qubits", m.MinQubits},
+		{"eval.modules", int64(m.Modules)},
+		{"eval.leaves", int64(m.Leaves)},
+		{"eval.critical_path", m.CriticalPath},
+		{"eval.zero_comm_steps", m.ZeroCommSteps},
+		{"eval.comm_cycles", m.CommCycles},
+		{"eval.global_moves", m.GlobalMoves},
+		{"eval.local_moves", m.LocalMoves},
+	} {
+		if got := r.Gauge(g.name).Value(); got != g.want {
+			t.Errorf("gauge %s = %d, want %d (reported Metrics)", g.name, got, g.want)
+		}
+	}
+	st := cache.Stats()
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"eval_cache.comm.hits", st.CommHits},
+		{"eval_cache.comm.misses", st.CommMisses},
+		{"eval_cache.sched.hits", st.SchedHits},
+		{"eval_cache.sched.misses", st.SchedMisses},
+		{"eval_cache.cp.hits", st.CPHits},
+		{"eval_cache.cp.misses", st.CPMisses},
+	} {
+		if got := r.Counter(c.name).Value(); got != c.want {
+			t.Errorf("counter %s = %d, want %d (cache.Stats())", c.name, got, c.want)
+		}
+	}
+	if r.Counter("sched.fresh").Value() == 0 {
+		t.Error("cold run characterized no fresh schedules")
+	}
+
+	if o.Decisions.Len() == 0 {
+		t.Error("LevelOp decision log recorded nothing")
+	}
+
+	var buf bytes.Buffer
+	if _, err := o.Trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("malformed trace: unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.PID != 1 {
+			t.Fatalf("event %q has pid %d, want 1", ev.Name, ev.PID)
+		}
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"evaluate", "characterize-leaves", "compose"} {
+		if !seen[want] {
+			t.Errorf("trace lacks the %q engine span", want)
+		}
+	}
+}
+
+// TestEngineObservabilityRace runs the fully instrumented engine with a
+// wide worker pool, twice per scheduler so warm cache paths count too.
+// Its value is under -race in CI: every tracer, registry and decision
+// write races against seven siblings unless properly synchronized.
+func TestEngineObservabilityRace(t *testing.T) {
+	progs := engineWorkloads(t)
+	p := progs["SHA-1"]
+	if p == nil {
+		t.Fatal("no SHA-1 workload")
+	}
+	for _, sched := range []core.Scheduler{core.RCP, core.LPFS} {
+		o := &obs.Observer{
+			Trace:     obs.NewTracer(),
+			Metrics:   obs.NewRegistry(),
+			Decisions: obs.NewDecisionLog(obs.LevelOp),
+		}
+		opts := core.EvalOptions{
+			Scheduler: core.WithDecisionLog(sched, o.Decisions),
+			K:         4,
+			Comm:      comm.Options{LocalCapacity: -1},
+			Workers:   8,
+			Cache:     core.NewEvalCache(),
+			Obs:       o,
+		}
+		for run := 0; run < 2; run++ {
+			if _, err := core.Evaluate(p, opts); err != nil {
+				t.Fatalf("%s run %d: %v", sched.Name(), run, err)
+			}
+		}
+		if o.Trace.Len() == 0 {
+			t.Errorf("%s: no spans recorded", sched.Name())
+		}
+	}
+}
+
+// BenchmarkEvaluateObsOff and ...ObsOn bound the enabled and disabled
+// instrumentation cost; the overhead guard compares their wall times.
+func BenchmarkEvaluateObsOff(b *testing.B) {
+	benchmarkEvaluate(b, nil)
+}
+
+func BenchmarkEvaluateObsOn(b *testing.B) {
+	benchmarkEvaluate(b, &obs.Observer{
+		Trace:   obs.NewTracer(),
+		Metrics: obs.NewRegistry(),
+	})
+}
+
+func benchmarkEvaluate(b *testing.B, o *obs.Observer) {
+	bm, ok := bench.ByName("BF")
+	if !ok {
+		b.Fatal("no BF benchmark")
+	}
+	opts := bm.Pipeline
+	opts.FTh = 2000
+	p, err := core.Build(bm.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(p, core.EvalOptions{Scheduler: core.LPFS, K: 4, Obs: o}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/flatten"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/lower"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/parser"
 	"github.com/scaffold-go/multisimd/internal/reuse"
 	"github.com/scaffold-go/multisimd/internal/sema"
@@ -50,6 +51,11 @@ type PipelineOptions struct {
 	// flat form. Requires the clean-ancilla convention (see package
 	// reuse).
 	AncillaReuse bool
+
+	// Obs, when non-nil, traces each compilation phase (parse, sema,
+	// lower, decompose, flatten, ancilla-reuse) as a span under the
+	// "pipeline" category. Nil disables tracing for free.
+	Obs *obs.Observer
 }
 
 func (o PipelineOptions) entry() string {
@@ -62,7 +68,10 @@ func (o PipelineOptions) entry() string {
 // Frontend parses, checks and lowers source into IR without running any
 // mid-end pass.
 func Frontend(src string, opts PipelineOptions) (*ir.Program, error) {
+	tr := opts.Obs.T()
+	psp := tr.Span("pipeline", "parse")
 	prog, err := parser.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -71,13 +80,20 @@ func Frontend(src string, opts PipelineOptions) (*ir.Program, error) {
 
 // frontendAST checks and lowers an already parsed program.
 func frontendAST(prog *ast.Program, opts PipelineOptions) (*ir.Program, error) {
-	if err := sema.Check(prog); err != nil {
+	tr := opts.Obs.T()
+	ssp := tr.Span("pipeline", "sema")
+	err := sema.Check(prog)
+	ssp.End()
+	if err != nil {
 		return nil, err
 	}
-	return lower.Lower(prog, opts.entry(), lower.Options{
+	lsp := tr.Span("pipeline", "lower")
+	p, err := lower.Lower(prog, opts.entry(), lower.Options{
 		UnrollLimit: opts.UnrollLimit,
 		MaxUnroll:   opts.MaxUnroll,
 	})
+	lsp.End()
+	return p, err
 }
 
 // Build runs the full compilation pipeline: front end, gate
@@ -92,22 +108,35 @@ func Build(src string, opts PipelineOptions) (*ir.Program, error) {
 
 // midend runs the post-frontend passes on a lowered program.
 func midend(p *ir.Program, opts PipelineOptions) (*ir.Program, error) {
+	tr := opts.Obs.T()
 	if !opts.SkipDecompose {
-		if _, err := decompose.Program(p, decompose.Options{
+		sp := tr.Span("pipeline", "decompose")
+		_, err := decompose.Program(p, decompose.Options{
 			Epsilon:         opts.Epsilon,
 			InlineRotations: opts.InlineRotations,
 			KeepToffoli:     opts.KeepToffoli,
-		}); err != nil {
+		})
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 	if !opts.SkipFlatten {
-		if _, err := flatten.Program(p, flatten.Options{Threshold: opts.FTh}); err != nil {
+		sp := tr.Span("pipeline", "flatten")
+		st, err := flatten.Program(p, flatten.Options{Threshold: opts.FTh})
+		if st != nil {
+			sp.SetInt("inlined_call_ops", int64(st.InlinedCallOps))
+		}
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 	if opts.AncillaReuse {
-		if err := reuseLeaves(p); err != nil {
+		sp := tr.Span("pipeline", "ancilla-reuse")
+		err := reuseLeaves(p)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -150,13 +179,16 @@ func reuseLeaves(p *ir.Program) error {
 // the first), prefixed with the 1-based fragment index.
 func BuildSources(opts PipelineOptions, srcs ...string) (*ir.Program, error) {
 	merged := &ast.Program{}
+	psp := opts.Obs.T().Span("pipeline", "parse")
 	for i, s := range srcs {
 		frag, err := parser.Parse(s)
 		if err != nil {
+			psp.End()
 			return nil, fmt.Errorf("core: fragment %d: %w", i+1, err)
 		}
 		merged.Modules = append(merged.Modules, frag.Modules...)
 	}
+	psp.End()
 	p, err := frontendAST(merged, opts)
 	if err != nil {
 		return nil, err

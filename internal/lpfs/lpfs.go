@@ -17,6 +17,7 @@ import (
 
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
@@ -32,6 +33,13 @@ type Options struct {
 	// NoOptions suppresses the default-on behavior of SIMD/Refill when
 	// both fields are false (for ablation benches).
 	NoOptions bool
+
+	// Log, when non-nil, records scheduling decisions: path refills and
+	// deadlock-forced placements at LevelStep; stalled pinned heads,
+	// d-budget deferrals, and ready-but-path-claimed ops at LevelOp.
+	// Logging never changes the schedule and is excluded from cache keys;
+	// nil costs a nil check per step.
+	Log *obs.DecisionLog
 }
 
 func (o Options) l() int {
@@ -64,6 +72,7 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 	}
 	l := opts.l()
 	useSIMD, useRefill := opts.simd(), opts.refill()
+	log := opts.Log
 
 	pending := make([]int32, n)
 	for i := 0; i < n; i++ {
@@ -109,6 +118,14 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 				}
 				need := len(m.Ops[op].Args)
 				if opts.D > 0 && qubits+need > opts.D {
+					if log.Enabled(obs.LevelOp) {
+						log.Record(obs.LevelOp, obs.Decision{
+							Scheduler: "lpfs", Module: m.Name,
+							Step: len(s.Steps), Region: -1, Op: op,
+							Reason: obs.ReasonDBudget,
+							Detail: fmt.Sprintf("needs %d qubits, %d/%d used", need, qubits, opts.D),
+						})
+					}
 					break
 				}
 				taken = append(taken, op)
@@ -132,6 +149,14 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 			if useRefill && len(paths[i]) == 0 {
 				paths[i] = g.NextLongestPath(orBool(done, claimed), ready)
 				claim(paths[i])
+				if len(paths[i]) > 0 && log.Enabled(obs.LevelStep) {
+					log.Record(obs.LevelStep, obs.Decision{
+						Scheduler: "lpfs", Module: m.Name,
+						Step: len(s.Steps), Region: i, Op: paths[i][0],
+						Reason: obs.ReasonRefill,
+						Detail: fmt.Sprintf("new pinned path of %d ops", len(paths[i])),
+					})
+				}
 			}
 			if len(paths[i]) > 0 && isReady(paths[i][0]) && fits(paths[i][0]) {
 				head := paths[i][0]
@@ -147,6 +172,20 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 			}
 			// Path empty or head stalled: with the SIMD option the region
 			// executes arbitrary ready free ops instead of idling.
+			if len(paths[i]) > 0 && log.Enabled(obs.LevelOp) {
+				head := paths[i][0]
+				why := "dependencies unsatisfied"
+				if !fits(head) {
+					why = fmt.Sprintf("needs %d qubits, d = %d", len(m.Ops[head].Args), opts.D)
+				} else if inStep[head] {
+					why = "already placed this step"
+				}
+				log.Record(obs.LevelOp, obs.Decision{
+					Scheduler: "lpfs", Module: m.Name,
+					Step: len(s.Steps), Region: i, Op: head,
+					Reason: obs.ReasonHeadStalled, Detail: why,
+				})
+			}
 			if useSIMD {
 				if key, ok := firstFreeKey(m, ready, claimed, isReady); ok {
 					ops, _ := takeFree(key, 0)
@@ -163,6 +202,21 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 			}
 			ops, _ := takeFree(key, 0)
 			place(r, ops)
+		}
+
+		// Ready ops held back only because a pinned path claims them: the
+		// free regions above skipped them even if idle.
+		if log.Enabled(obs.LevelOp) {
+			for _, op := range ready {
+				if claimed[op] && isReady(op) {
+					log.Record(obs.LevelOp, obs.Decision{
+						Scheduler: "lpfs", Module: m.Name,
+						Step: len(s.Steps), Region: -1, Op: op,
+						Reason: obs.ReasonRegionPinned,
+						Detail: "claimed by a pinned path, waiting for its turn",
+					})
+				}
+			}
 		}
 
 		// Deadlock avoidance: if every pinned head stalls on a claimed-
@@ -194,6 +248,14 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 						break
 					}
 				}
+			}
+			if log.Enabled(obs.LevelStep) {
+				log.Record(obs.LevelStep, obs.Decision{
+					Scheduler: "lpfs", Module: m.Name,
+					Step: len(s.Steps), Region: 0, Op: forced,
+					Reason: obs.ReasonForced,
+					Detail: "deadlock avoidance: every pinned head stalled",
+				})
 			}
 			place(0, []int32{forced})
 		}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Level grades decision-log verbosity. The zero value is off; schedulers
+// check Enabled(level) before building a record, so a disabled log costs
+// one nil check on the hot path.
+type Level int32
+
+const (
+	// LevelOff records nothing (the nil log's level).
+	LevelOff Level = iota
+	// LevelStep records one entry per placement decision: which group
+	// won a region and why (plus structural events: refills, forced
+	// placements).
+	LevelStep
+	// LevelOp additionally records per-op deferrals: d-budget
+	// exhaustion, pinned-path claims, slack-priority losses, stalled
+	// path heads.
+	LevelOp
+)
+
+// ParseLevel maps a flag string onto a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return LevelOff, nil
+	case "step":
+		return LevelStep, nil
+	case "op":
+		return LevelOp, nil
+	}
+	return LevelOff, fmt.Errorf("obs: unknown decision level %q (off, step, op)", s)
+}
+
+// Reason classifies why a scheduler acted on (or declined to act on) an
+// op.
+type Reason uint8
+
+const (
+	// ReasonChosen marks a winning (group, region) placement.
+	ReasonChosen Reason = iota
+	// ReasonDBudget marks an op deferred because the region's data
+	// parallelism budget d was exhausted.
+	ReasonDBudget
+	// ReasonRegionPinned marks a ready op that could not run because a
+	// pinned longest-path claims it for a dedicated region (LPFS).
+	ReasonRegionPinned
+	// ReasonSlackLost marks an op that outweighed the winner before the
+	// slack penalty and lost to it after (RCP).
+	ReasonSlackLost
+	// ReasonHeadStalled marks a pinned path whose head op is not ready,
+	// idling its dedicated region (LPFS).
+	ReasonHeadStalled
+	// ReasonForced marks deadlock avoidance: an op ripped out of a
+	// pinned path and executed to guarantee progress (LPFS).
+	ReasonForced
+	// ReasonRefill marks a dedicated region extracting a fresh longest
+	// path after finishing its previous one (LPFS).
+	ReasonRefill
+)
+
+// String names the reason for log rendering.
+func (r Reason) String() string {
+	switch r {
+	case ReasonChosen:
+		return "chosen"
+	case ReasonDBudget:
+		return "d-budget"
+	case ReasonRegionPinned:
+		return "region-pinned"
+	case ReasonSlackLost:
+		return "slack-lost"
+	case ReasonHeadStalled:
+		return "head-stalled"
+	case ReasonForced:
+		return "forced"
+	case ReasonRefill:
+		return "refill"
+	}
+	return "unknown"
+}
+
+// Decision is one scheduler introspection record.
+type Decision struct {
+	Scheduler string
+	Module    string
+	Step      int
+	Region    int
+	Op        int32 // op index within the module; -1 when not op-specific
+	Reason    Reason
+	Detail    string
+}
+
+// DecisionLog accumulates scheduler decisions at or below its level. A
+// nil *DecisionLog is the disabled log: Enabled is false and Record
+// no-ops. Safe for concurrent use (the engine schedules leaves from a
+// worker pool).
+type DecisionLog struct {
+	level   Level
+	mu      sync.Mutex
+	entries []Decision
+}
+
+// NewDecisionLog returns a log recording entries at or below level.
+func NewDecisionLog(level Level) *DecisionLog {
+	return &DecisionLog{level: level}
+}
+
+// Enabled reports whether records at lv are kept. Schedulers gate
+// record construction behind this so the disabled path does no work.
+func (l *DecisionLog) Enabled(lv Level) bool {
+	return l != nil && lv != LevelOff && l.level >= lv
+}
+
+// Record appends d when the log accepts records at lv.
+func (l *DecisionLog) Record(lv Level, d Decision) {
+	if !l.Enabled(lv) {
+		return
+	}
+	l.mu.Lock()
+	l.entries = append(l.entries, d)
+	l.mu.Unlock()
+}
+
+// Len reports the number of records kept.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries copies the recorded decisions in record order.
+func (l *DecisionLog) Entries() []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Decision, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// CountReason tallies records with the given reason.
+func (l *DecisionLog) CountReason(r Reason) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, d := range l.entries {
+		if d.Reason == r {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTo renders the log as one text line per decision:
+//
+//	lpfs BF.leaf0 step 12 region 0 op 34 d-budget: needs 2, 7/8 used
+func (l *DecisionLog) WriteTo(w io.Writer) (int64, error) {
+	if l == nil {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, d := range l.entries {
+		op := fmt.Sprint(d.Op)
+		if d.Op < 0 {
+			op = "-"
+		}
+		line := fmt.Sprintf("%s %s step %d region %d op %s %s",
+			d.Scheduler, d.Module, d.Step, d.Region, op, d.Reason)
+		if d.Detail != "" {
+			line += ": " + d.Detail
+		}
+		n, err := fmt.Fprintln(w, line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteFile renders the log to path.
+func (l *DecisionLog) WriteFile(path string) error {
+	if l == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := l.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// Handler serves the registry: Prometheus text format at the root (and
+// /metrics), the JSON snapshot at /metrics.json.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	prom := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	}
+	mux.HandleFunc("/", prom)
+	mux.HandleFunc("/metrics", prom)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// ServeMetrics binds addr and serves the registry on it in the
+// background (Prometheus at /metrics, JSON at /metrics.json). The
+// returned listener reports the bound address and stops the server when
+// closed.
+func ServeMetrics(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, Handler(r)) }()
+	return ln, nil
+}
+
+// ServePprof binds addr and serves net/http/pprof's handlers (the
+// default mux) in the background: /debug/pprof/ for the index,
+// /debug/pprof/profile for CPU, /debug/pprof/heap, and so on.
+func ServePprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, http.DefaultServeMux) }()
+	return ln, nil
+}

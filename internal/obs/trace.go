@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects wall-clock spans and serializes them in the Chrome
+// trace-event format (the "JSON Array Format" with a traceEvents
+// wrapper), which Perfetto and chrome://tracing load directly.
+//
+// A nil *Tracer is the disabled tracer: Span returns the zero Span,
+// whose methods all no-op, and nothing allocates. Span creation and End
+// are safe for concurrent use; the engine's worker pool traces each
+// task under the worker's slot id (tid), so the trace viewer renders
+// pool utilization as parallel tracks.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	now    func() time.Time
+	events []traceEvent
+	names  map[int64]string
+}
+
+// traceEvent is one Chrome trace-event record. Complete spans use
+// ph "X" with ts/dur in microseconds; instants use ph "i".
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns an enabled tracer whose timestamps are relative to
+// now.
+func NewTracer() *Tracer { return newTracerClock(time.Now) }
+
+// newTracerClock injects the clock, for deterministic golden tests.
+func newTracerClock(now func() time.Time) *Tracer {
+	return &Tracer{start: now(), now: now, names: map[int64]string{}}
+}
+
+// Enabled reports whether spans are being collected. Call sites that
+// must format a span name or gather args check this first so the
+// disabled path does no work.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) since() int64 {
+	return t.now().Sub(t.start).Microseconds()
+}
+
+// Span opens a span on the main track (tid 0). cat groups spans for the
+// viewer's filtering ("pipeline", "engine", "leaf", ...).
+func (t *Tracer) Span(cat, name string) Span { return t.SpanTID(cat, name, 0) }
+
+// SpanTID opens a span on an explicit track. The engine uses
+// tid = worker slot + 1, keeping tid 0 for the coordinating goroutine.
+func (t *Tracer) SpanTID(cat, name string, tid int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, tid: tid, start: t.since()}
+}
+
+// Instant records a zero-duration marker (rendered as an arrow/flag).
+func (t *Tracer) Instant(cat, name string, tid int64) {
+	if t == nil {
+		return
+	}
+	ev := traceEvent{Name: name, Cat: cat, Ph: "i", TS: t.since(), PID: tracePID, TID: tid, S: "t"}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// SetThreadName labels a track in the viewer ("main", "worker-03", ...).
+func (t *Tracer) SetThreadName(tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.names[tid] = name
+	t.mu.Unlock()
+}
+
+// tracePID is the constant pid stamped on every event: the toolflow is
+// one process, so one trace-viewer process group.
+const tracePID = 1
+
+// Span is one open trace span. The zero Span (from a nil Tracer) is
+// inert: SetInt, SetStr and End are no-ops and allocate nothing.
+type Span struct {
+	t     *Tracer
+	cat   string
+	name  string
+	tid   int64
+	start int64
+	args  map[string]any
+}
+
+// SetInt attaches an integer arg, shown in the viewer's detail pane.
+func (s *Span) SetInt(key string, v int64) {
+	if s.t == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = v
+}
+
+// SetStr attaches a string arg.
+func (s *Span) SetStr(key, v string) {
+	if s.t == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = v
+}
+
+// End closes the span and records it.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.since()
+	dur := end - s.start
+	if dur < 1 {
+		dur = 1 // Perfetto drops zero-length complete events
+	}
+	ev := traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.start, Dur: dur, PID: tracePID, TID: s.tid, Args: s.args,
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+	s.t = nil
+}
+
+// traceFile is the serialized wrapper object.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTo serializes the collected events as Chrome trace-event JSON.
+// Thread-name metadata events come first (sorted by tid), then spans in
+// completion order; viewers sort by timestamp themselves.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	if t == nil {
+		return 0, nil
+	}
+	t.mu.Lock()
+	tids := make([]int64, 0, len(t.names))
+	for tid := range t.names {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	events := make([]traceEvent, 0, len(t.names)+len(t.events))
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": t.names[tid]},
+		})
+	}
+	events = append(events, t.events...)
+	t.mu.Unlock()
+
+	buf, err := json.MarshalIndent(traceFile{DisplayTimeUnit: "ms", TraceEvents: events}, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// WriteFile serializes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Len reports the number of recorded events (metadata excluded).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock ticks a fixed amount per reading, making traces
+// deterministic for the golden test.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+// TestTraceGolden pins the Chrome trace-event output shape: the
+// traceEvents wrapper, metadata-first ordering, complete ("X") and
+// instant ("i") phases, microsecond timestamps, and args rendering.
+func TestTraceGolden(t *testing.T) {
+	tr := newTracerClock(fakeClock(100 * time.Microsecond))
+	tr.SetThreadName(0, "main")
+	tr.SetThreadName(1, "worker-00")
+
+	outer := tr.Span("engine", "evaluate")
+	outer.SetInt("k", 4)
+	outer.SetStr("scheduler", "lpfs")
+	leaf := tr.SpanTID("leaf", "main w=4", 1)
+	leaf.SetInt("steps", 17)
+	leaf.End()
+	tr.Instant("verify", "rejection", 1)
+	outer.End()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceShape checks the loadability invariants Perfetto relies on
+// without pinning bytes: valid JSON, a traceEvents array, and complete
+// events carrying name/ph/ts/dur/pid/tid.
+func TestTraceShape(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Span("pipeline", "parse")
+	sp.End()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("got %d events, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev["name"] != "parse" || ev["ph"] != "X" || ev["cat"] != "pipeline" {
+		t.Errorf("unexpected event fields: %v", ev)
+	}
+	for _, key := range []string{"ts", "dur", "pid", "tid"} {
+		if _, ok := ev[key]; !ok && key != "tid" { // tid 0 still serializes
+			t.Errorf("event missing %q: %v", key, ev)
+		}
+	}
+	if dur, ok := ev["dur"].(float64); !ok || dur < 1 {
+		t.Errorf("dur = %v, want >= 1", ev["dur"])
+	}
+}
+
+// TestTracerConcurrent exercises concurrent span recording (run under
+// -race in CI).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr.SetThreadName(int64(w), "t")
+			for i := 0; i < 100; i++ {
+				sp := tr.SpanTID("x", "s", int64(w))
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 800 {
+		t.Fatalf("recorded %d events, want 800", got)
+	}
+}
+
+// TestDisabledTracerAllocatesNothing is the overhead guard: the nil
+// tracer's span path — the one every uninstrumented run takes — must
+// not allocate.
+func TestDisabledTracerAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.SpanTID("cat", "name", 3)
+		sp.SetInt("k", 42)
+		sp.SetStr("s", "v")
+		sp.End()
+		tr.Instant("cat", "name", 0)
+		tr.SetThreadName(1, "w")
+		if tr.Enabled() {
+			t.Fatal("nil tracer reported enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestNilTracerWriters(t *testing.T) {
+	var tr *Tracer
+	if n, err := tr.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+	if err := tr.WriteFile(filepath.Join(t.TempDir(), "x.json")); err != nil {
+		t.Fatalf("nil WriteFile: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package obscli
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/obs"
+)
+
+func TestSetupDisabledReturnsNil(t *testing.T) {
+	var f Flags
+	o, err := f.Setup(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatal("no flags set but observer built")
+	}
+	if err := f.Finish(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupBuildsRequestedPillars(t *testing.T) {
+	f := Flags{Trace: "t.json", MetricsOut: "m.json", Decisions: "d.log"}
+	o, err := f.Setup(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Trace == nil || o.Metrics == nil || o.Decisions == nil {
+		t.Fatalf("missing pillar: %+v", o)
+	}
+	// -decisions without -decision-level defaults to step.
+	if !o.Decisions.Enabled(obs.LevelStep) || o.Decisions.Enabled(obs.LevelOp) {
+		t.Error("default decision level is not step")
+	}
+}
+
+func TestSetupRejectsBadLevel(t *testing.T) {
+	f := Flags{DecisionLevel: "chatty"}
+	if _, err := f.Setup(io.Discard); err == nil {
+		t.Error("bad -decision-level accepted")
+	}
+}
+
+func TestFinishWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		Trace:      filepath.Join(dir, "t.json"),
+		MetricsOut: filepath.Join(dir, "m.json"),
+		Decisions:  filepath.Join(dir, "d.log"),
+	}
+	o, err := f.Setup(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := o.Trace.Span("test", "work")
+	sp.End()
+	o.Metrics.Counter("test.count").Inc()
+	o.Decisions.Record(obs.LevelStep, obs.Decision{Scheduler: "rcp", Module: "m", Op: -1})
+	if err := f.Finish(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.Trace, f.MetricsOut, f.Decisions} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
@@ -25,8 +26,22 @@ func (s Scheduler) Name() string { return "rcp" }
 // String renders the scheduler for diagnostics and reports.
 func (s Scheduler) String() string { return s.Name() }
 
-// Config renders the tuning knobs canonically, for cache keys.
-func (s Scheduler) Config() string { return fmt.Sprintf("rcp%+v", s.Opts) }
+// Config renders the tuning knobs canonically, for cache keys. The
+// decision log is dropped first: logging never changes the schedule, so
+// a logging and a non-logging run must share cache entries (and a
+// pointer's address would poison the key anyway).
+func (s Scheduler) Config() string {
+	o := s.Opts
+	o.Log = nil
+	return fmt.Sprintf("rcp%+v", o)
+}
+
+// WithDecisionLog returns a copy of the scheduler that records its
+// placement decisions into l (see Options.Log).
+func (s Scheduler) WithDecisionLog(l *obs.DecisionLog) schedule.Scheduler {
+	s.Opts.Log = l
+	return s
+}
 
 // Schedule implements schedule.Scheduler.
 func (s Scheduler) Schedule(m *ir.Module, g *dag.Graph, k, d int) (*schedule.Schedule, error) {

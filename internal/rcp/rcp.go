@@ -18,6 +18,7 @@ import (
 
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
@@ -34,6 +35,14 @@ type Options struct {
 	WSlack float64
 	// weightsSet marks that zero weights were given explicitly.
 	ExplicitWeights bool
+
+	// Log, when non-nil, records placement decisions: each winning
+	// (group, region) pick at LevelStep, plus per-op deferrals — ops of
+	// the winning group dropped for the d budget, and ops that outranked
+	// the winner before the slack penalty — at LevelOp. Logging never
+	// changes the schedule and is excluded from cache keys; nil costs a
+	// nil check per step.
+	Log *obs.DecisionLog
 }
 
 func (o Options) weights() (wop, wdist, wslack float64) {
@@ -68,6 +77,7 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 	if n == 0 {
 		return s, nil
 	}
+	log := opts.Log
 
 	pending := make([]int32, n) // unsatisfied dependency counts
 	for i := 0; i < n; i++ {
@@ -102,6 +112,14 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 			bestW := 0.0
 			bestOp := int32(-1)
 			bestRegion := -1
+			// Candidate weights are retained only when op-level decision
+			// logging asks for them (slack-lost detection).
+			type cand struct {
+				op          int32
+				w, wNoSlack float64
+			}
+			var cands []cand
+			logOps := log.Enabled(obs.LevelOp)
 			for _, op := range ready {
 				key := schedule.KeyOf(m, op)
 				base := wop*float64(prev[key]) - wslack*float64(g.Slack(op))
@@ -134,6 +152,9 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 					}
 				}
 				w := base + wdist*float64(locality)
+				if logOps {
+					cands = append(cands, cand{op: op, w: w, wNoSlack: w + wslack*float64(g.Slack(op))})
+				}
 				if bestOp < 0 || w > bestW {
 					bestW = w
 					bestOp = op
@@ -157,10 +178,38 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 						qubits += need
 						continue
 					}
+					if logOps {
+						log.Record(obs.LevelOp, obs.Decision{
+							Scheduler: "rcp", Module: m.Name,
+							Step: len(s.Steps), Region: bestRegion, Op: op,
+							Reason: obs.ReasonDBudget,
+							Detail: fmt.Sprintf("needs %d qubits, %d/%d used", need, qubits, opts.D),
+						})
+					}
 				}
 				rest = append(rest, op)
 			}
 			ready = rest
+			if log.Enabled(obs.LevelStep) {
+				log.Record(obs.LevelStep, obs.Decision{
+					Scheduler: "rcp", Module: m.Name,
+					Step: len(s.Steps), Region: bestRegion, Op: bestOp,
+					Reason: obs.ReasonChosen,
+					Detail: fmt.Sprintf("weight %.3g, group of %d", bestW, len(taken)),
+				})
+			}
+			if logOps {
+				for _, c := range cands {
+					if c.op != bestOp && c.w < bestW && c.wNoSlack > bestW {
+						log.Record(obs.LevelOp, obs.Decision{
+							Scheduler: "rcp", Module: m.Name,
+							Step: len(s.Steps), Region: bestRegion, Op: c.op,
+							Reason: obs.ReasonSlackLost,
+							Detail: fmt.Sprintf("weight %.3g beat winner before slack (%.3g after)", c.wNoSlack, c.w),
+						})
+					}
+				}
+			}
 			step.Regions[bestRegion] = taken
 			placed = append(placed, taken...)
 			regionFree[bestRegion] = false

@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +54,7 @@ func main() {
 	schedName := flag.String("sched", "lpfs", "scheduler for the extended experiments (registered: rcp, lpfs)")
 	workers := flag.Int("workers", 0, "evaluation concurrency (0 = GOMAXPROCS, 1 = serial)")
 	perfOut := flag.String("perf-out", "", "write per-benchmark BENCH_<name>.json perf records into this `dir` instead of running an experiment")
+	perfAgainst := flag.String("perf-against", "", "baseline `dir` of committed BENCH_<name>.json records; with -perf-out, fail if any cold wall time regresses more than 25% past the baseline")
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -64,7 +66,10 @@ func main() {
 			return err
 		}
 		if *perfOut != "" {
-			return writePerfRecords(*perfOut, *schedName, *fth, *workers)
+			return writePerfRecords(*perfOut, *perfAgainst, *schedName, *fth, *workers)
+		}
+		if *perfAgainst != "" {
+			return fmt.Errorf("-perf-against requires -perf-out")
 		}
 		if err := run(*exp, *scale, *fth, *schedName, *workers); err != nil {
 			return err
@@ -482,12 +487,46 @@ type perfRecord struct {
 	GoMaxProcs     int             `json:"gomaxprocs"`
 }
 
+// regressionLimit flags a fresh cold wall time as a regression when it
+// exceeds the committed baseline by more than 25%, with an absolute
+// 50ms slack so millisecond-scale benchmarks don't trip on scheduler
+// jitter from a noisy CI host.
+func regressionLimit(baselineMS float64) float64 {
+	return baselineMS*1.25 + 50
+}
+
+// checkAgainst compares a fresh record with the committed baseline in
+// dir. A missing baseline file is not an error — new benchmarks join
+// the trajectory on their first committed record.
+func checkAgainst(dir string, rec perfRecord) error {
+	path := filepath.Join(dir, "BENCH_"+rec.Benchmark+".json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		fmt.Printf("%-10s no baseline at %s, skipping check\n", rec.Benchmark, path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base perfRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if limit := regressionLimit(base.ColdWallMS); rec.ColdWallMS > limit {
+		return fmt.Errorf("%s: cold wall time %.1fms exceeds %.1fms (baseline %.1fms + 25%% + 50ms slack)",
+			rec.Benchmark, rec.ColdWallMS, limit, base.ColdWallMS)
+	}
+	return nil
+}
+
 // writePerfRecords evaluates each small benchmark twice at k=4 — a cold
 // run that fills the EvalCache and a warm run that should hit it — and
 // writes the wall times, cache behavior and worker-pool peak per
 // benchmark. Each benchmark gets a fresh cache and metrics registry so
-// records are independent.
-func writePerfRecords(dir, schedName string, fth int64, workers int) error {
+// records are independent. With a non-empty against dir, every record
+// is also checked for cold-wall-time regressions; all benchmarks still
+// run and write records before the first regression is reported.
+func writePerfRecords(dir, against, schedName string, fth int64, workers int) error {
 	sched, err := core.SchedulerByName(schedName)
 	if err != nil {
 		return err
@@ -498,6 +537,7 @@ func writePerfRecords(dir, schedName string, fth int64, workers int) error {
 	if fth == 0 {
 		fth = 2000
 	}
+	var regressions []error
 	for _, b := range bench.AllSmall() {
 		w, err := buildWorkload(b, fth, true, workers)
 		if err != nil {
@@ -543,6 +583,14 @@ func writePerfRecords(dir, schedName string, fth int64, workers int) error {
 		}
 		fmt.Printf("%-10s cold %8.1fms  warm %8.1fms  hit rate %5.1f%%  -> %s\n",
 			b.Name, rec.ColdWallMS, rec.WarmWallMS, 100*rec.CacheHitRate, path)
+		if against != "" {
+			if err := checkAgainst(against, rec); err != nil {
+				regressions = append(regressions, err)
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf regression vs %s: %w", against, errors.Join(regressions...))
 	}
 	return nil
 }

@@ -136,8 +136,7 @@ func Schedule(m *ir.Module, opts Options) (*Result, error) {
 	preds := buildDeps(m)
 	order := priorityOrder(boxes, preds)
 
-	// Region tracks: freeAt[r] is when region r next becomes idle.
-	freeAt := make([]int64, opts.K)
+	pl := newPlacer(opts.K)
 	finish := make([]int64, n)
 	res.Placements = make([]Placement, n)
 	readyAt := func(i int) int64 {
@@ -150,48 +149,15 @@ func Schedule(m *ir.Module, opts Options) (*Result, error) {
 		return te
 	}
 	place := func(i int, te int64, forceWidth int) error {
-		// Choose the width option minimizing finish time; ties prefer
-		// narrower boxes (leaving room for siblings).
-		bestFinish := int64(math.MaxInt64)
-		bestStart := int64(0)
-		bestW, bestL := 0, int64(0)
-		d := boxes[i]
-		sorted := append([]int64(nil), freeAt...)
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		for j, w := range d.Widths {
-			if w > opts.K || (forceWidth > 0 && w != forceWidth) {
-				continue
-			}
-			// Starting a w-wide box requires the w earliest-free regions.
-			start := sorted[w-1]
-			if te > start {
-				start = te
-			}
-			f := start + d.Lengths[j]
-			if f < bestFinish || (f == bestFinish && w < bestW) {
-				bestFinish, bestStart, bestW, bestL = f, start, w, d.Lengths[j]
-			}
+		p, ok := pl.place(boxes[i], te, forceWidth)
+		if !ok {
+			return noFitError(i, m.Name, opts.K, forceWidth)
 		}
-		if bestW == 0 {
-			return fmt.Errorf("coarse: op %d of %s has no dimension fitting k=%d", i, m.Name, opts.K)
-		}
-		// Claim the bestW regions that free earliest.
-		type rt struct {
-			r    int
-			free int64
-		}
-		regs := make([]rt, opts.K)
-		for r := range freeAt {
-			regs[r] = rt{r: r, free: freeAt[r]}
-		}
-		sort.Slice(regs, func(a, b int) bool { return regs[a].free < regs[b].free })
-		for claimed := 0; claimed < bestW; claimed++ {
-			freeAt[regs[claimed].r] = bestFinish
-		}
-		finish[i] = bestFinish
-		res.Placements[i] = Placement{OpIndex: i, Start: bestStart, Width: bestW, Length: bestL}
-		if bestFinish > res.Length {
-			res.Length = bestFinish
+		p.OpIndex = i
+		finish[i] = p.Start + p.Length
+		res.Placements[i] = p
+		if f := p.Start + p.Length; f > res.Length {
+			res.Length = f
 		}
 		return nil
 	}
@@ -203,11 +169,13 @@ func Schedule(m *ir.Module, opts Options) (*Result, error) {
 	// greedily. Membership requires no predecessor inside the wave
 	// (everything before the wave is already placed, because the order
 	// is topological, so earliest start times are then exact).
+	wave := make([]int, 0, n)
+	inWave := make([]bool, n)
 	for idx := 0; idx < len(order); {
 		i := order[idx]
 		te := readyAt(i)
-		wave := []int{i}
-		inWave := map[int]bool{i: true}
+		wave = append(wave[:0], i)
+		inWave[i] = true
 	grow:
 		for j := idx + 1; j < len(order); j++ {
 			cand := order[j]
@@ -227,9 +195,10 @@ func Schedule(m *ir.Module, opts Options) (*Result, error) {
 		}
 		forced := 0
 		if len(wave) > 1 {
-			forced = waveWidth(boxes[i], len(wave), freeRegionsAt(freeAt, te))
+			forced = waveWidth(boxes[i], len(wave), freeRegionsAt(pl.freeAt, te))
 		}
 		for _, w := range wave {
+			inWave[w] = false
 			if err := place(w, readyAt(w), forced); err != nil {
 				return nil, err
 			}
@@ -239,6 +208,131 @@ func Schedule(m *ir.Module, opts Options) (*Result, error) {
 
 	res.Width = peakWidth(res.Placements, opts.K)
 	return res, nil
+}
+
+// placer tracks region availability and places one blackbox at a time.
+// The pre-refactor implementation copy-sorted freeAt once to rank start
+// times and a second (region, free) slice to claim regions — two
+// O(k log k) sorts and two allocations per placement. The placer instead
+// runs a single partial selection over a reusable min-heap of region
+// ids keyed by (freeAt, id): one heapify plus at most wMax pops, no
+// allocation. Ties in free time are claimed lowest-region-first; the
+// original's tie order was unspecified, but any tied choice yields the
+// same freeAt multiset, so results are bit-identical (placements do not
+// name regions).
+type placer struct {
+	k      int
+	freeAt []int64 // freeAt[r] is when region r next becomes idle
+	heap   []int32 // scratch: region ids, min-heap by (freeAt, id)
+	sel    []int32 // scratch: regions popped in ascending order
+}
+
+func newPlacer(k int) *placer {
+	return &placer{
+		k:      k,
+		freeAt: make([]int64, k),
+		heap:   make([]int32, k),
+		sel:    make([]int32, 0, k),
+	}
+}
+
+func (p *placer) less(a, b int32) bool {
+	if p.freeAt[a] != p.freeAt[b] {
+		return p.freeAt[a] < p.freeAt[b]
+	}
+	return a < b
+}
+
+func (p *placer) siftDown(h []int32, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && p.less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && p.less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// selectEarliest fills p.sel with the n regions that free earliest, in
+// ascending (freeAt, id) order: heapify O(k) plus n pops.
+func (p *placer) selectEarliest(n int) []int32 {
+	h := p.heap[:p.k]
+	for i := range h {
+		h[i] = int32(i)
+	}
+	for i := p.k/2 - 1; i >= 0; i-- {
+		p.siftDown(h, i)
+	}
+	sel := p.sel[:0]
+	for len(sel) < n {
+		sel = append(sel, h[0])
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		p.siftDown(h, 0)
+	}
+	p.sel = sel
+	return sel
+}
+
+// place chooses the width option of d minimizing finish time (ties
+// prefer narrower boxes, leaving room for siblings), claims the regions
+// that free earliest, and returns the placement. ok is false when no
+// option fits k (or the forced width).
+func (p *placer) place(d Dims, te int64, forceWidth int) (Placement, bool) {
+	wMax := 0
+	for _, w := range d.Widths {
+		if w > p.k || (forceWidth > 0 && w != forceWidth) {
+			continue
+		}
+		if w > wMax {
+			wMax = w
+		}
+	}
+	if wMax == 0 {
+		return Placement{}, false
+	}
+	sel := p.selectEarliest(wMax)
+	bestFinish := int64(math.MaxInt64)
+	bestStart := int64(0)
+	bestW, bestL := 0, int64(0)
+	for j, w := range d.Widths {
+		if w > p.k || (forceWidth > 0 && w != forceWidth) {
+			continue
+		}
+		// Starting a w-wide box requires the w earliest-free regions.
+		start := p.freeAt[sel[w-1]]
+		if te > start {
+			start = te
+		}
+		f := start + d.Lengths[j]
+		if f < bestFinish || (f == bestFinish && w < bestW) {
+			bestFinish, bestStart, bestW, bestL = f, start, w, d.Lengths[j]
+		}
+	}
+	for claimed := 0; claimed < bestW; claimed++ {
+		p.freeAt[sel[claimed]] = bestFinish
+	}
+	return Placement{Start: bestStart, Width: bestW, Length: bestL}, true
+}
+
+// noFitError renders the no-dimension-fits diagnostic. A width forced
+// by wave grouping names itself: a k=8 machine rejecting a 4-wide box
+// because the wave search pinned width 2 would otherwise misdirect
+// debugging toward the machine size.
+func noFitError(op int, module string, k, forceWidth int) error {
+	if forceWidth > 0 {
+		return fmt.Errorf("coarse: op %d of %s has no dimension fitting k=%d with width %d forced by wave grouping",
+			op, module, k, forceWidth)
+	}
+	return fmt.Errorf("coarse: op %d of %s has no dimension fitting k=%d", op, module, k)
 }
 
 // sameDims reports whether two blackboxes offer identical options.

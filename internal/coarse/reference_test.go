@@ -1,0 +1,237 @@
+package coarse
+
+// referenceSchedule is the pre-refactor coarse scheduler, preserved as
+// the differential oracle: it differs from Schedule only in the
+// placement kernel, which copy-sorted freeAt and a (region, free) slice
+// per placement instead of running the placer's heap selection. The
+// corpus test pins the two bit-identical.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+)
+
+func referenceSchedule(m *ir.Module, opts Options) (*Result, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("coarse: k must be >= 1, got %d", opts.K)
+	}
+	if opts.Cost.GateCost <= 0 {
+		return nil, fmt.Errorf("coarse: gate cost must be positive")
+	}
+	n := len(m.Ops)
+	res := &Result{}
+	if n == 0 {
+		return res, nil
+	}
+	boxes, err := buildBoxes(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	preds := buildDeps(m)
+	order := priorityOrder(boxes, preds)
+
+	freeAt := make([]int64, opts.K)
+	finish := make([]int64, n)
+	res.Placements = make([]Placement, n)
+	readyAt := func(i int) int64 {
+		var te int64
+		for p := range preds[i] {
+			if finish[p] > te {
+				te = finish[p]
+			}
+		}
+		return te
+	}
+	place := func(i int, te int64, forceWidth int) error {
+		bestFinish := int64(math.MaxInt64)
+		bestStart := int64(0)
+		bestW, bestL := 0, int64(0)
+		d := boxes[i]
+		sorted := append([]int64(nil), freeAt...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		for j, w := range d.Widths {
+			if w > opts.K || (forceWidth > 0 && w != forceWidth) {
+				continue
+			}
+			start := sorted[w-1]
+			if te > start {
+				start = te
+			}
+			f := start + d.Lengths[j]
+			if f < bestFinish || (f == bestFinish && w < bestW) {
+				bestFinish, bestStart, bestW, bestL = f, start, w, d.Lengths[j]
+			}
+		}
+		if bestW == 0 {
+			return fmt.Errorf("coarse: op %d of %s has no dimension fitting k=%d", i, m.Name, opts.K)
+		}
+		type rt struct {
+			r    int
+			free int64
+		}
+		regs := make([]rt, opts.K)
+		for r := range freeAt {
+			regs[r] = rt{r: r, free: freeAt[r]}
+		}
+		sort.Slice(regs, func(a, b int) bool { return regs[a].free < regs[b].free })
+		for claimed := 0; claimed < bestW; claimed++ {
+			freeAt[regs[claimed].r] = bestFinish
+		}
+		finish[i] = bestFinish
+		res.Placements[i] = Placement{OpIndex: i, Start: bestStart, Width: bestW, Length: bestL}
+		if bestFinish > res.Length {
+			res.Length = bestFinish
+		}
+		return nil
+	}
+
+	for idx := 0; idx < len(order); {
+		i := order[idx]
+		te := readyAt(i)
+		wave := []int{i}
+		inWave := map[int]bool{i: true}
+	grow:
+		for j := idx + 1; j < len(order); j++ {
+			cand := order[j]
+			if !sameDims(boxes[cand], boxes[i]) {
+				break
+			}
+			for p := range preds[cand] {
+				if inWave[p] {
+					break grow
+				}
+			}
+			if readyAt(cand) != te {
+				break
+			}
+			wave = append(wave, cand)
+			inWave[cand] = true
+		}
+		forced := 0
+		if len(wave) > 1 {
+			forced = waveWidth(boxes[i], len(wave), freeRegionsAt(freeAt, te))
+		}
+		for _, w := range wave {
+			if err := place(w, readyAt(w), forced); err != nil {
+				return nil, err
+			}
+		}
+		idx += len(wave)
+	}
+	res.Width = peakWidth(res.Placements, opts.K)
+	return res, nil
+}
+
+// randomCoarseModule builds a seeded non-leaf: gates and calls to a
+// small callee set over overlapping ranges, so waves, pipelined chains
+// and congested regions all occur.
+func randomCoarseModule(rng *rand.Rand, nOps int) (*ir.Module, map[string]Dims) {
+	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: 24}})
+	dims := map[string]Dims{
+		"a": {Widths: []int{1}, Lengths: []int64{int64(1 + rng.Intn(30))}},
+		"b": {Widths: []int{1, 2}, Lengths: []int64{int64(20 + rng.Intn(40)), int64(10 + rng.Intn(10))}},
+		"c": {Widths: []int{1, 2, 4}, Lengths: []int64{90, 50, int64(20 + rng.Intn(15))}},
+	}
+	names := []string{"a", "b", "c"}
+	for i := 0; i < nOps; i++ {
+		if rng.Intn(4) == 0 {
+			m.Gate(qasm.H, rng.Intn(24))
+			continue
+		}
+		callee := names[rng.Intn(len(names))]
+		ln := 2 + rng.Intn(3)
+		start := rng.Intn(24 - ln)
+		if rng.Intn(3) == 0 {
+			m.CallN(callee, int64(1+rng.Intn(5)), ir.Range{Start: start, Len: ln})
+		} else {
+			m.Call(callee, ir.Range{Start: start, Len: ln})
+		}
+	}
+	return m, dims
+}
+
+// TestHeapPlacementMatchesReference pins the heap-selection placer to
+// the pre-refactor double-sort implementation: identical Results
+// (length, width, every placement) across a seeded corpus of random
+// call-heavy modules, machine sizes and both cost models.
+func TestHeapPlacementMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, dims := randomCoarseModule(rng, 40+rng.Intn(80))
+		src := func(callee string) (Dims, error) { return dims[callee], nil }
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			for _, cost := range []CostModel{ZeroComm, WithComm} {
+				opts := Options{K: k, Cost: cost, Dims: src}
+				want, err := referenceSchedule(m, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Schedule(m, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d k=%d cost=%+v: heap placement diverges\n got: %+v\nwant: %+v",
+						seed, k, cost, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNoFitDiagnostics covers both failure modes of the placement
+// error: an oversized box with no constraint, and a miss caused by a
+// width forced by wave grouping — the latter must name the forced width
+// instead of blaming k.
+func TestNoFitDiagnostics(t *testing.T) {
+	// Unforced: every width exceeds k. End-to-end through Schedule.
+	m := ir.NewModule("m", nil, []ir.Reg{{Name: "q", Size: 4}})
+	m.Call("wide", ir.Range{Start: 0, Len: 2})
+	dims := func(string) (Dims, error) {
+		return Dims{Widths: []int{4, 8}, Lengths: []int64{10, 6}}, nil
+	}
+	_, err := Schedule(m, Options{K: 2, Cost: ZeroComm, Dims: dims})
+	if err == nil {
+		t.Fatal("expected no-fit error")
+	}
+	want := "coarse: op 0 of m has no dimension fitting k=2"
+	if err.Error() != want {
+		t.Errorf("unforced diagnostic = %q, want %q", err, want)
+	}
+
+	// Forced: the same box fits k, but a wave-grouping constraint pins a
+	// width the box does not offer. The scheduler only forces widths
+	// drawn from the box's own options, so this arm is exercised at the
+	// placement kernel directly.
+	pl := newPlacer(4)
+	if _, ok := pl.place(Dims{Widths: []int{4}, Lengths: []int64{10}}, 0, 2); ok {
+		t.Fatal("expected forced-width miss")
+	}
+	err = noFitError(3, "m", 4, 2)
+	wantForced := "coarse: op 3 of m has no dimension fitting k=4 with width 2 forced by wave grouping"
+	if err.Error() != wantForced {
+		t.Errorf("forced diagnostic = %q, want %q", err, wantForced)
+	}
+}
+
+// TestPlacerSteadyStateAllocs guards the placement kernel: placing
+// through a warmed placer allocates nothing.
+func TestPlacerSteadyStateAllocs(t *testing.T) {
+	pl := newPlacer(8)
+	d := Dims{Widths: []int{1, 2, 4}, Lengths: []int64{40, 24, 16}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := pl.place(d, 0, 0); !ok {
+			t.Fatal("placement failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("place allocates %.0f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,400 @@
+package comm
+
+// This file is the dense-state implementation of the movement analysis.
+// Qubit slots and timesteps are small dense integers, so all per-qubit
+// and per-step bookkeeping lives in slot- and step-indexed slices backed
+// by a reusable arena (Analyzer) instead of hash maps: the inner loop
+// does O(1) array indexing, and a warmed Analyzer allocates only the
+// returned Result. The map-based original is preserved as the
+// differential oracle in reference_test.go; TestDenseAnalyzeMatches
+// Reference pins the two field-for-field across the random corpus.
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+type use struct {
+	step   int32
+	region int32
+}
+
+// evictNode is one planned eviction, linked into its boundary's
+// chronological list (next = arena index, -1 ends the list).
+type evictNode struct {
+	slot int32
+	dest Loc
+	kind MoveKind
+	next int32
+}
+
+// leaveNode is one scratchpad departure (region id), linked like
+// evictNode.
+type leaveNode struct {
+	region int32
+	next   int32
+}
+
+// Analyzer carries the reusable dense state of the movement analysis.
+// The zero value is ready to use; buffers grow to the largest schedule
+// analyzed and are reused afterwards, so steady-state calls allocate
+// only the Result. An Analyzer must not be used concurrently; the
+// package-level Analyze draws from a sync.Pool, and the evaluation
+// engine keeps one per worker slot.
+type Analyzer struct {
+	// Slot-indexed state.
+	loc     []Loc   // current residence; zero value = global memory
+	cursor  []int32 // index of the slot's next use in its use list
+	pending []int32 // in-flight movement cost since the previous op
+	lastUse []int32 // timestep of the previous op, -1 = never used
+
+	// Flattened per-slot use lists: uses[useOff[s]:useOff[s+1]].
+	useOff []int32
+	useFil []int32
+	uses   []use
+
+	// Step-indexed state.
+	firstLoads []int32 // first-use global loads charged at the boundary
+	bStart     []int32 // move-arena offset where each boundary begins
+	evictHead  []int32 // per-boundary eviction list heads/tails
+	evictTail  []int32
+	leaveHead  []int32 // per-step scratchpad-departure list heads/tails
+	leaveTail  []int32
+
+	// Region-indexed state.
+	localOcc   []int32 // current scratchpad occupancy
+	nextActive []int32 // flattened k x (nSteps+1) activity index
+
+	// Arenas.
+	evictions []evictNode
+	leaves    []leaveNode
+	moves     []Move // all moves, in boundary order
+}
+
+// NewAnalyzer returns an empty Analyzer. Equivalent to &Analyzer{};
+// provided for symmetry with the rest of the toolflow's constructors.
+func NewAnalyzer() *Analyzer { return &Analyzer{} }
+
+var analyzerPool = sync.Pool{New: func() any { return NewAnalyzer() }}
+
+// Analyze derives moves and communication cost for a fine-grained
+// schedule using a pooled Analyzer.
+func Analyze(s *schedule.Schedule, opts Options) (*Result, error) {
+	a := analyzerPool.Get().(*Analyzer)
+	res, err := a.Analyze(s, opts)
+	analyzerPool.Put(a)
+	return res, err
+}
+
+// grown returns a length-n slice reusing buf's storage when it fits.
+// Contents are unspecified; callers reset what they read.
+func grown[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// reset sizes every buffer for a (slots, steps, regions) problem and
+// clears the state the analysis reads before writing.
+func (a *Analyzer) reset(slots, nSteps, k int) {
+	a.loc = grown(a.loc, slots)
+	a.cursor = grown(a.cursor, slots)
+	a.pending = grown(a.pending, slots)
+	a.lastUse = grown(a.lastUse, slots)
+	clear(a.loc)
+	clear(a.cursor)
+	clear(a.pending)
+	for i := range a.lastUse {
+		a.lastUse[i] = -1
+	}
+
+	a.useOff = grown(a.useOff, slots+1)
+	a.useFil = grown(a.useFil, slots)
+	clear(a.useOff)
+	clear(a.useFil)
+
+	a.firstLoads = grown(a.firstLoads, nSteps)
+	a.bStart = grown(a.bStart, nSteps+1)
+	a.evictHead = grown(a.evictHead, nSteps+1)
+	a.evictTail = grown(a.evictTail, nSteps+1)
+	a.leaveHead = grown(a.leaveHead, nSteps+1)
+	a.leaveTail = grown(a.leaveTail, nSteps+1)
+	clear(a.firstLoads)
+	for i := range a.evictHead {
+		a.evictHead[i] = -1
+		a.leaveHead[i] = -1
+	}
+
+	a.localOcc = grown(a.localOcc, k)
+	a.nextActive = grown(a.nextActive, k*(nSteps+1))
+	clear(a.localOcc)
+
+	a.evictions = a.evictions[:0]
+	a.leaves = a.leaves[:0]
+	a.moves = a.moves[:0]
+}
+
+// buildUses flattens the per-qubit (step, region) touch lists into the
+// arena, preserving the step-order scan (and its duplicate-use error)
+// of the map-based original.
+func (a *Analyzer) buildUses(s *schedule.Schedule) error {
+	for t := range s.Steps {
+		for _, ops := range s.Steps[t].Regions {
+			for _, op := range ops {
+				for _, slot := range s.M.Ops[op].Args {
+					a.useOff[slot+1]++
+				}
+			}
+		}
+	}
+	for i := 1; i < len(a.useOff); i++ {
+		a.useOff[i] += a.useOff[i-1]
+	}
+	total := int(a.useOff[len(a.useOff)-1])
+	a.uses = grown(a.uses, total)
+	for t := range s.Steps {
+		for r, ops := range s.Steps[t].Regions {
+			for _, op := range ops {
+				for _, slot := range s.M.Ops[op].Args {
+					off, n := a.useOff[slot], a.useFil[slot]
+					if n > 0 && a.uses[off+n-1].step == int32(t) {
+						return fmt.Errorf("comm: qubit %d used twice in step %d", slot, t)
+					}
+					a.uses[off+n] = use{step: int32(t), region: int32(r)}
+					a.useFil[slot] = n + 1
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildActivity fills the flattened activity index: for region r,
+// nextActive[r*(nSteps+1)+t] is the earliest active step >= t (nSteps
+// when none).
+func (a *Analyzer) buildActivity(s *schedule.Schedule) {
+	nSteps := len(s.Steps)
+	stride := nSteps + 1
+	for r := 0; r < s.K; r++ {
+		row := a.nextActive[r*stride : (r+1)*stride]
+		row[nSteps] = int32(nSteps)
+		for t := nSteps - 1; t >= 0; t-- {
+			if r < len(s.Steps[t].Regions) && len(s.Steps[t].Regions[r]) > 0 {
+				row[t] = int32(t)
+			} else {
+				row[t] = row[t+1]
+			}
+		}
+	}
+}
+
+// planEvict links an eviction of slot to dest into boundary b's list.
+func (a *Analyzer) planEvict(b int, slot int32, dest Loc, kind MoveKind) {
+	idx := int32(len(a.evictions))
+	a.evictions = append(a.evictions, evictNode{slot: slot, dest: dest, kind: kind, next: -1})
+	if a.evictHead[b] < 0 {
+		a.evictHead[b] = idx
+	} else {
+		a.evictions[a.evictTail[b]].next = idx
+	}
+	a.evictTail[b] = idx
+}
+
+// planLeave links a scratchpad departure from region r into step v's
+// list.
+func (a *Analyzer) planLeave(v int, r int32) {
+	idx := int32(len(a.leaves))
+	a.leaves = append(a.leaves, leaveNode{region: r, next: -1})
+	if a.leaveHead[v] < 0 {
+		a.leaveHead[v] = idx
+	} else {
+		a.leaves[a.leaveTail[v]].next = idx
+	}
+	a.leaveTail[v] = idx
+}
+
+// Analyze derives moves and communication cost for a fine-grained
+// schedule. The returned Result is independent of the Analyzer and
+// remains valid across further calls.
+func (a *Analyzer) Analyze(s *schedule.Schedule, opts Options) (*Result, error) {
+	nSteps := len(s.Steps)
+	res := &Result{
+		Boundaries: make([][]Move, nSteps),
+		Overhead:   make([]int, nSteps),
+	}
+	if nSteps == 0 {
+		return res, nil
+	}
+	slots := s.M.TotalSlots()
+	a.reset(slots, nSteps, s.K)
+	if err := a.buildUses(s); err != nil {
+		return nil, err
+	}
+	a.buildActivity(s)
+	stride := nSteps + 1
+
+	// addMove charges one movement at the boundary entering step t.
+	// Every call while step t is processed targets boundary t, so the
+	// arena stays in boundary order and bStart delimits the slices.
+	addMove := func(t int, m Move) {
+		a.moves = append(a.moves, m)
+		cost := int32(0)
+		switch m.Kind {
+		case GlobalMove:
+			res.GlobalMoves++
+			res.EPRPairs++
+			cost = TeleportCycles
+		case LocalMove:
+			res.LocalMoves++
+			cost = LocalCycles
+		}
+		a.pending[m.Slot] += cost
+		if opts.NoOverlap && res.Overhead[t] < int(cost) {
+			res.Overhead[t] = int(cost)
+		}
+	}
+
+	for t := 0; t < nSteps; t++ {
+		a.bStart[t] = int32(len(a.moves))
+		// Scratchpad departures free capacity first.
+		for i := a.leaveHead[t]; i >= 0; i = a.leaves[i].next {
+			a.localOcc[a.leaves[i].region]--
+		}
+		// Planned evictions at this boundary.
+		for i := a.evictHead[t]; i >= 0; i = a.evictions[i].next {
+			ev := &a.evictions[i]
+			addMove(t, Move{Slot: int(ev.slot), Kind: ev.kind, From: a.loc[ev.slot], To: ev.dest})
+			a.loc[ev.slot] = ev.dest
+		}
+		// In-moves: operands of step t reach their regions.
+		for r := range s.Steps[t].Regions {
+			for _, op := range s.Steps[t].Regions[r] {
+				for _, slot := range s.M.Ops[op].Args {
+					l := a.loc[slot]
+					dst := Loc{Kind: InRegion, Region: int32(r)}
+					switch {
+					case l.Kind == InRegion && l.Region == int32(r):
+						// Already in place.
+					case l.Kind == InLocal && l.Region == int32(r):
+						addMove(t, Move{Slot: slot, Kind: LocalMove, From: l, To: dst})
+					default:
+						addMove(t, Move{Slot: slot, Kind: GlobalMove, From: l, To: dst})
+						if a.lastUse[slot] < 0 {
+							a.firstLoads[t]++
+						}
+					}
+					a.loc[slot] = dst
+					// Teleportation masking: the journey since the
+					// previous use stalls this step only beyond the idle
+					// window. First uses ride the pre-distribution.
+					if !opts.NoOverlap {
+						if prev := a.lastUse[slot]; prev >= 0 {
+							window := int32(t) - prev - 1
+							if stall := int(a.pending[slot] - window); stall > res.Overhead[t] {
+								res.Overhead[t] = stall
+							}
+						}
+					}
+					a.pending[slot] = 0
+					a.lastUse[slot] = int32(t)
+				}
+			}
+		}
+		// Out-decisions for step t's operands.
+		for r := range s.Steps[t].Regions {
+			for _, op := range s.Steps[t].Regions[r] {
+				for _, slot := range s.M.Ops[op].Args {
+					a.cursor[slot]++
+					i := a.cursor[slot]
+					if i >= a.useOff[slot+1]-a.useOff[slot] {
+						// Final use: the region reclaims the qubit as
+						// ancilla/EPR stock (§4.4); no move charged.
+						a.loc[slot] = Loc{Kind: InGlobal}
+						continue
+					}
+					next := a.uses[a.useOff[slot]+i]
+					v := int(next.step)
+					// First step strictly after t at which region r is
+					// active again (possibly v itself).
+					av := nSteps
+					if t+1 < nSteps {
+						av = int(a.nextActive[r*stride+t+1])
+					}
+					if next.region == int32(r) {
+						if av >= v {
+							continue // rests in place until its next op
+						}
+						// Evicted before reuse: prefer the scratchpad.
+						if opts.LocalCapacity != 0 &&
+							(opts.LocalCapacity < 0 || int(a.localOcc[r]) < opts.LocalCapacity) {
+							a.planEvict(av, int32(slot), Loc{Kind: InLocal, Region: int32(r)}, LocalMove)
+							a.localOcc[r]++
+							if int(a.localOcc[r]) > res.MaxLocalOccupancy {
+								res.MaxLocalOccupancy = int(a.localOcc[r])
+							}
+							a.planLeave(v, int32(r))
+							continue
+						}
+						a.planEvict(av, int32(slot), Loc{Kind: InGlobal}, GlobalMove)
+						continue
+					}
+					// Next use in another region: rest here while idle,
+					// teleporting straight to the consumer; flush to
+					// global memory if this region reactivates first.
+					if av < v {
+						a.planEvict(av, int32(slot), Loc{Kind: InGlobal}, GlobalMove)
+					}
+					// Otherwise stays; the in-move at v charges the
+					// region-to-region teleport.
+				}
+			}
+		}
+	}
+	a.bStart[nSteps] = int32(len(a.moves))
+
+	// Detach the move list from the arena: one flat allocation, sliced
+	// per boundary (nil where a boundary charged nothing, matching the
+	// map-based original).
+	flat := make([]Move, len(a.moves))
+	copy(flat, a.moves)
+	for t := 0; t < nSteps; t++ {
+		lo, hi := a.bStart[t], a.bStart[t+1]
+		if lo < hi {
+			res.Boundaries[t] = flat[lo:hi:hi]
+		}
+	}
+
+	// EPR bandwidth: record the peak teleport burst, and under a finite
+	// channel capacity serialize overflowing boundaries into waves.
+	for b := range res.Boundaries {
+		g := 0
+		for _, mv := range res.Boundaries[b] {
+			if mv.Kind == GlobalMove {
+				g++
+			}
+		}
+		if g > res.PeakEPRBandwidth {
+			res.PeakEPRBandwidth = g
+		}
+		// Pre-distributed first-use loads never stall the runtime under
+		// the masked model; only genuine mid-circuit teleports compete
+		// for the channel. NoOverlap charges everything, per §4.4.
+		runtime := g
+		if !opts.NoOverlap {
+			runtime -= int(a.firstLoads[b])
+		}
+		if opts.EPRBandwidth > 0 && runtime > opts.EPRBandwidth {
+			waves := (runtime + opts.EPRBandwidth - 1) / opts.EPRBandwidth
+			res.Overhead[b] += (waves - 1) * TeleportCycles
+		}
+	}
+
+	res.Cycles = int64(nSteps)
+	for _, o := range res.Overhead {
+		res.Cycles += int64(o)
+	}
+	return res, nil
+}

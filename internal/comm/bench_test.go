@@ -1,0 +1,56 @@
+package comm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+func benchSchedule(b *testing.B, ops int) *schedule.Schedule {
+	rng := rand.New(rand.NewSource(42))
+	m := verify.RandomLeaf(rng, verify.GenOptions{Ops: ops, Qubits: 12})
+	g, err := dag.Build(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lpfs.Schedule(m, g, lpfs.Options{K: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAnalyzePooled measures the package-level entry point: a
+// sync.Pool checkout plus the dense analysis.
+func BenchmarkAnalyzePooled(b *testing.B) {
+	s := benchSchedule(b, 2000)
+	opts := comm.Options{LocalCapacity: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comm.Analyze(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeReused measures the steady state the evaluation
+// engine sees: one Analyzer per worker slot, reused across every
+// (leaf, width) characterization.
+func BenchmarkAnalyzeReused(b *testing.B) {
+	s := benchSchedule(b, 2000)
+	opts := comm.Options{LocalCapacity: -1, EPRBandwidth: 2}
+	a := comm.NewAnalyzer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,8 +33,6 @@ package comm
 
 import (
 	"fmt"
-
-	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
 // MoveKind classifies a qubit movement.
@@ -154,249 +152,6 @@ func (r *Result) StallCycles() int64 {
 		total += int64(o)
 	}
 	return total
-}
-
-type use struct {
-	step   int32
-	region int32
-}
-
-// Analyze derives moves and communication cost for a fine-grained
-// schedule.
-func Analyze(s *schedule.Schedule, opts Options) (*Result, error) {
-	nSteps := len(s.Steps)
-	res := &Result{
-		Boundaries: make([][]Move, nSteps),
-		Overhead:   make([]int, nSteps),
-	}
-	if nSteps == 0 {
-		return res, nil
-	}
-
-	uses, err := useLists(s)
-	if err != nil {
-		return nil, err
-	}
-	nextActive := activityIndex(s)
-
-	loc := map[int]Loc{}    // zero value = global memory
-	cursor := map[int]int{} // per-qubit next-use index
-	localOcc := make([]int, s.K)
-
-	type eviction struct {
-		slot int
-		dest Loc
-		kind MoveKind
-	}
-	evictAt := make(map[int][]eviction)
-	leaveAt := make(map[int][]int32) // scratchpad departures: region ids
-
-	// pending accumulates each qubit's in-flight movement cost since its
-	// previous operation; lastUse records that operation's timestep.
-	pending := map[int]int{}
-	lastUse := map[int]int{}
-	// firstLoads[b] counts first-use global loads charged at boundary b;
-	// the masked bandwidth model excludes them from wave serialization.
-	firstLoads := make([]int, nSteps)
-
-	addMove := func(b int, m Move) {
-		if b >= nSteps {
-			return // trailing rest, never charged
-		}
-		res.Boundaries[b] = append(res.Boundaries[b], m)
-		cost := 0
-		switch m.Kind {
-		case GlobalMove:
-			res.GlobalMoves++
-			res.EPRPairs++
-			cost = TeleportCycles
-		case LocalMove:
-			res.LocalMoves++
-			cost = LocalCycles
-		}
-		pending[m.Slot] += cost
-		if opts.NoOverlap && res.Overhead[b] < cost {
-			res.Overhead[b] = cost
-		}
-	}
-
-	for t := 0; t < nSteps; t++ {
-		// Scratchpad departures free capacity first.
-		for _, r := range leaveAt[t] {
-			localOcc[r]--
-		}
-		// Planned evictions at this boundary.
-		for _, ev := range evictAt[t] {
-			addMove(t, Move{Slot: ev.slot, Kind: ev.kind, From: loc[ev.slot], To: ev.dest})
-			loc[ev.slot] = ev.dest
-		}
-		// In-moves: operands of step t reach their regions.
-		for r := range s.Steps[t].Regions {
-			for _, op := range s.Steps[t].Regions[r] {
-				for _, slot := range s.M.Ops[op].Args {
-					l := loc[slot]
-					dst := Loc{Kind: InRegion, Region: int32(r)}
-					switch {
-					case l.Kind == InRegion && l.Region == int32(r):
-						// Already in place.
-					case l.Kind == InLocal && l.Region == int32(r):
-						addMove(t, Move{Slot: slot, Kind: LocalMove, From: l, To: dst})
-					default:
-						addMove(t, Move{Slot: slot, Kind: GlobalMove, From: l, To: dst})
-						if _, used := lastUse[slot]; !used {
-							firstLoads[t]++
-						}
-					}
-					loc[slot] = dst
-					// Teleportation masking: the journey since the
-					// previous use stalls this step only beyond the idle
-					// window. First uses ride the pre-distribution.
-					if !opts.NoOverlap {
-						if prev, used := lastUse[slot]; used {
-							window := t - prev - 1
-							if stall := pending[slot] - window; stall > res.Overhead[t] {
-								res.Overhead[t] = stall
-							}
-						}
-					}
-					pending[slot] = 0
-					lastUse[slot] = t
-				}
-			}
-		}
-		// Out-decisions for step t's operands.
-		for r := range s.Steps[t].Regions {
-			for _, op := range s.Steps[t].Regions[r] {
-				for _, slot := range s.M.Ops[op].Args {
-					cursor[slot]++
-					us := uses[slot]
-					i := cursor[slot]
-					if i >= len(us) {
-						// Final use: the region reclaims the qubit as
-						// ancilla/EPR stock (§4.4); no move charged.
-						loc[slot] = Loc{Kind: InGlobal}
-						continue
-					}
-					next := us[i]
-					v := int(next.step)
-					// First step strictly after t at which region r is
-					// active again (possibly v itself).
-					a := nSteps
-					if t+1 < nSteps {
-						a = int(nextActive[r][t+1])
-					}
-					if next.region == int32(r) {
-						if a >= v {
-							continue // rests in place until its next op
-						}
-						// Evicted before reuse: prefer the scratchpad.
-						if opts.LocalCapacity != 0 &&
-							(opts.LocalCapacity < 0 || localOcc[r] < opts.LocalCapacity) {
-							evictAt[a] = append(evictAt[a], eviction{
-								slot: slot,
-								dest: Loc{Kind: InLocal, Region: int32(r)},
-								kind: LocalMove,
-							})
-							localOcc[r]++
-							if localOcc[r] > res.MaxLocalOccupancy {
-								res.MaxLocalOccupancy = localOcc[r]
-							}
-							leaveAt[v] = append(leaveAt[v], int32(r))
-							continue
-						}
-						evictAt[a] = append(evictAt[a], eviction{
-							slot: slot,
-							dest: Loc{Kind: InGlobal},
-							kind: GlobalMove,
-						})
-						continue
-					}
-					// Next use in another region: rest here while idle,
-					// teleporting straight to the consumer; flush to
-					// global memory if this region reactivates first.
-					if a < v {
-						evictAt[a] = append(evictAt[a], eviction{
-							slot: slot,
-							dest: Loc{Kind: InGlobal},
-							kind: GlobalMove,
-						})
-					}
-					// Otherwise stays; the in-move at v charges the
-					// region-to-region teleport.
-				}
-			}
-		}
-	}
-
-	// EPR bandwidth: record the peak teleport burst, and under a finite
-	// channel capacity serialize overflowing boundaries into waves.
-	for b := range res.Boundaries {
-		g := 0
-		for _, mv := range res.Boundaries[b] {
-			if mv.Kind == GlobalMove {
-				g++
-			}
-		}
-		if g > res.PeakEPRBandwidth {
-			res.PeakEPRBandwidth = g
-		}
-		// Pre-distributed first-use loads never stall the runtime under
-		// the masked model; only genuine mid-circuit teleports compete
-		// for the channel. NoOverlap charges everything, per §4.4.
-		runtime := g
-		if !opts.NoOverlap {
-			runtime -= firstLoads[b]
-		}
-		if opts.EPRBandwidth > 0 && runtime > opts.EPRBandwidth {
-			waves := (runtime + opts.EPRBandwidth - 1) / opts.EPRBandwidth
-			res.Overhead[b] += (waves - 1) * TeleportCycles
-		}
-	}
-
-	res.Cycles = int64(nSteps)
-	for _, o := range res.Overhead {
-		res.Cycles += int64(o)
-	}
-	return res, nil
-}
-
-// useLists builds per-qubit (step, region) touch lists in step order.
-func useLists(s *schedule.Schedule) (map[int][]use, error) {
-	uses := make(map[int][]use)
-	for t := range s.Steps {
-		for r, ops := range s.Steps[t].Regions {
-			for _, op := range ops {
-				for _, slot := range s.M.Ops[op].Args {
-					us := uses[slot]
-					if len(us) > 0 && us[len(us)-1].step == int32(t) {
-						return nil, fmt.Errorf("comm: qubit %d used twice in step %d", slot, t)
-					}
-					uses[slot] = append(us, use{step: int32(t), region: int32(r)})
-				}
-			}
-		}
-	}
-	return uses, nil
-}
-
-// activityIndex returns, per region, the earliest active step >= t for
-// every t (nSteps when none).
-func activityIndex(s *schedule.Schedule) [][]int32 {
-	nSteps := len(s.Steps)
-	idx := make([][]int32, s.K)
-	for r := 0; r < s.K; r++ {
-		idx[r] = make([]int32, nSteps+1)
-		idx[r][nSteps] = int32(nSteps)
-		for t := nSteps - 1; t >= 0; t-- {
-			active := r < len(s.Steps[t].Regions) && len(s.Steps[t].Regions[r]) > 0
-			if active {
-				idx[r][t] = int32(t)
-			} else {
-				idx[r][t] = idx[r][t+1]
-			}
-		}
-	}
-	return idx
 }
 
 // NaiveCycles is the runtime of the paper's baseline: sequential

@@ -1,0 +1,136 @@
+package comm_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/rcp"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+// commOptionCombos is the option grid the differential corpus sweeps:
+// every LocalCapacity/NoOverlap/EPRBandwidth combination the experiment
+// suite exercises.
+func commOptionCombos() []comm.Options {
+	var combos []comm.Options
+	for _, lc := range []int{0, -1, 1, 2} {
+		for _, no := range []bool{false, true} {
+			for _, bw := range []int{0, 1, 2} {
+				combos = append(combos, comm.Options{LocalCapacity: lc, NoOverlap: no, EPRBandwidth: bw})
+			}
+		}
+	}
+	return combos
+}
+
+// corpusSchedules builds the seeded schedule corpus: random leaves
+// scheduled by both fine-grained schedulers at several machine shapes.
+func corpusSchedules(t testing.TB) []*schedule.Schedule {
+	var out []*schedule.Schedule
+	for seed := int64(0); seed < 12; seed++ {
+		for _, wide := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(seed))
+			m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 60, Qubits: 6, Wide: wide})
+			g, err := dag.Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, 4} {
+				r, err := rcp.Schedule(m, g, rcp.Options{K: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				l, err := lpfs.Schedule(m, g, lpfs.Options{K: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, r, l)
+			}
+		}
+	}
+	return out
+}
+
+// TestDenseAnalyzeMatchesReference pins the dense slot-indexed Analyze
+// to the pre-refactor map-based implementation field-for-field:
+// boundaries (move lists), overhead vectors, cycles, move and EPR
+// counts, occupancy and bandwidth peaks — across the seeded corpus and
+// the full option grid. A single Analyzer instance serves every case,
+// so arena reuse across differently-shaped schedules is covered too.
+func TestDenseAnalyzeMatchesReference(t *testing.T) {
+	scheds := corpusSchedules(t)
+	a := comm.NewAnalyzer()
+	for si, s := range scheds {
+		for _, opts := range commOptionCombos() {
+			want, err := referenceAnalyze(s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Analyze(s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("schedule %d opts %+v: dense result diverges\n got: %+v\nwant: %+v",
+					si, opts, got, want)
+			}
+			// The pooled package-level entry point must agree as well.
+			pooled, err := comm.Analyze(s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pooled, want) {
+				t.Fatalf("schedule %d opts %+v: pooled result diverges", si, opts)
+			}
+		}
+	}
+}
+
+// TestDenseAnalyzeDuplicateUseError pins the error path: the dense use
+// list builder must report the same duplicate-use diagnostic as the
+// reference.
+func TestDenseAnalyzeDuplicateUseError(t *testing.T) {
+	s := corpusSchedules(t)[0]
+	// Corrupt a copy: schedule the same op twice in one step.
+	bad := &schedule.Schedule{M: s.M, K: s.K, D: s.D}
+	bad.Steps = append([]schedule.Step(nil), s.Steps...)
+	first := bad.Steps[0].Regions[0][0]
+	bad.Steps[0] = schedule.Step{Regions: [][]int32{{first, first}}}
+	_, refErr := referenceAnalyze(bad, comm.Options{})
+	_, denseErr := comm.Analyze(bad, comm.Options{})
+	if refErr == nil || denseErr == nil {
+		t.Fatalf("expected errors, got ref=%v dense=%v", refErr, denseErr)
+	}
+	if refErr.Error() != denseErr.Error() {
+		t.Fatalf("diagnostics diverge: ref %q, dense %q", refErr, denseErr)
+	}
+}
+
+// TestAnalyzerSteadyStateAllocs guards the tentpole: a warmed Analyzer
+// allocates only the returned Result — the struct, its two vectors, the
+// flat move array and the boundary slice headers — regardless of
+// schedule size. The map-based original allocated thousands of times on
+// the same input.
+func TestAnalyzerSteadyStateAllocs(t *testing.T) {
+	scheds := corpusSchedules(t)
+	s := scheds[len(scheds)-1]
+	a := comm.NewAnalyzer()
+	opts := comm.Options{LocalCapacity: 2, EPRBandwidth: 2}
+	if _, err := a.Analyze(s, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := a.Analyze(s, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Result struct + Boundaries header + flat move array + Overhead.
+	if allocs > 6 {
+		t.Errorf("steady-state Analyze allocates %.0f times per run, want <= 6", allocs)
+	}
+}

@@ -50,6 +50,11 @@ type engine struct {
 	widths []int
 	cache  *EvalCache
 	eo     engObs
+	// an holds one reusable comm analyzer per worker slot, so every
+	// characterization on a slot reuses the same dense scratch state
+	// instead of allocating per (leaf, width) point. Slots are stable per
+	// pool goroutine (see runTasks), so no locking is needed.
+	an []*comm.Analyzer
 }
 
 // engObs is the engine's pre-resolved observability handles: the tracer
@@ -253,6 +258,7 @@ func (e *engine) evalLeaves(leaves []*leafState) error {
 			e.eo.tr.SetThreadName(int64(s+1), fmt.Sprintf("worker-%02d", s))
 		}
 	}
+	e.an = make([]*comm.Analyzer, workers)
 	var running atomic.Int64
 	task := func(slot, i int) error {
 		ls := leaves[i/nW]
@@ -265,7 +271,7 @@ func (e *engine) evalLeaves(leaves []*leafState) error {
 		if e.eo.tr.Enabled() {
 			sp = e.eo.tr.SpanTID("leaf", fmt.Sprintf("%s w=%d", ls.name, e.widths[wi]), int64(slot+1))
 		}
-		err := e.characterize(ls, wi, &sp)
+		err := e.characterize(ls, wi, slot, &sp)
 		sp.End()
 		if err != nil {
 			return fmt.Errorf("core: module %s: %w", ls.name, err)
@@ -280,7 +286,7 @@ func (e *engine) evalLeaves(leaves []*leafState) error {
 // comm.Analyze; a miss schedules and analyzes, then populates both.
 // sp is the task's trace span, annotated with which layer served the
 // point (inert when tracing is off).
-func (e *engine) characterize(ls *leafState, wi int, sp *obs.Span) error {
+func (e *engine) characterize(ls *leafState, wi, slot int, sp *obs.Span) error {
 	if wi == 0 {
 		cp, ok := e.cache.criticalPath(ls.fp)
 		if !ok {
@@ -329,7 +335,10 @@ func (e *engine) characterize(ls *leafState, wi int, sp *obs.Span) error {
 	} else {
 		sp.SetStr("cache", "sched-hit")
 	}
-	res, err := comm.Analyze(s, e.comm)
+	if e.an[slot] == nil {
+		e.an[slot] = comm.NewAnalyzer()
+	}
+	res, err := e.an[slot].Analyze(s, e.comm)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,28 @@
+package lpfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+// BenchmarkSchedule exercises the per-step loop — step membership now
+// uses a stamped slice instead of a fresh map per timestep, and the
+// blocked-set scratch for path refills is reused.
+func BenchmarkSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 2000, Qubits: 12})
+	g, err := dag.Build(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(m, g, Options{K: 4, L: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

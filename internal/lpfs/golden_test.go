@@ -1,0 +1,81 @@
+package lpfs_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/lpfs"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+// update rewrites the golden schedule digests instead of comparing:
+//
+//	go test ./internal/lpfs -run TestScheduleCorpusGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/corpus_digests.json")
+
+// TestScheduleCorpusGolden pins LPFS's output bit-for-bit across a
+// seeded random-leaf corpus: any rewrite of the scheduler's internals
+// (scratch buffers, dense state) must reproduce exactly these
+// schedules. The digests were generated from the pre-refactor
+// map-allocating implementation.
+func TestScheduleCorpusGolden(t *testing.T) {
+	got := map[string]string{}
+	for seed := int64(0); seed < 25; seed++ {
+		for _, cfg := range []struct {
+			k, d, l int
+			wide    bool
+		}{
+			{k: 1, d: 0}, {k: 2, d: 0}, {k: 4, d: 0},
+			{k: 4, d: 0, l: 2}, {k: 4, d: 3}, {k: 4, d: 3, wide: true},
+		} {
+			rng := rand.New(rand.NewSource(seed))
+			m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 60, Qubits: 6, Wide: cfg.wide})
+			g, err := dag.Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := lpfs.Schedule(m, g, lpfs.Options{K: cfg.k, D: cfg.d, L: cfg.l})
+			if err != nil {
+				t.Fatalf("seed %d k=%d d=%d l=%d: %v", seed, cfg.k, cfg.d, cfg.l, err)
+			}
+			key := fmt.Sprintf("seed%d/k%d/d%d/l%d/wide%t", seed, cfg.k, cfg.d, cfg.l, cfg.wide)
+			got[key] = fmt.Sprintf("%016x", verify.ScheduleDigest(s))
+		}
+	}
+	path := filepath.Join("testdata", "corpus_digests.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("corpus size drifted: golden has %d entries, run produced %d", len(want), len(got))
+	}
+	for key, d := range got {
+		if want[key] != d {
+			t.Errorf("%s: digest %s, golden %s — schedule changed", key, d, want[key])
+		}
+	}
+}

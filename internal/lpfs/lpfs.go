@@ -81,6 +81,18 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 	ready := g.Roots()
 	claimed := make([]bool, n) // op belongs to some pinned path
 	done := make([]bool, n)    // op scheduled
+	// inStepAt[op] == stamp marks op as placed in the current step; the
+	// stamp advances per step, so the buffer never needs clearing (the
+	// pre-refactor code allocated a map[int32]bool every step).
+	inStepAt := make([]int32, n)
+	stamp := int32(0)
+	blocked := make([]bool, n) // scratch: done[i] || claimed[i]
+	blockedNow := func() []bool {
+		for i := range blocked {
+			blocked[i] = done[i] || claimed[i]
+		}
+		return blocked
+	}
 	paths := make([][]int32, l)
 	claim := func(path []int32) {
 		for _, op := range path {
@@ -88,66 +100,71 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 		}
 	}
 	for i := 0; i < l; i++ {
-		paths[i] = g.NextLongestPath(orBool(done, claimed), ready)
+		paths[i] = g.NextLongestPath(blockedNow(), ready)
 		claim(paths[i])
+	}
+
+	// The step-scoped helpers are hoisted out of the loop and capture
+	// the rolling step state (stamp, current step) instead of being
+	// re-created — and re-allocated — every timestep.
+	var step schedule.Step
+	var placed []int32
+	isReady := func(op int32) bool {
+		return pending[op] == 0 && !done[op] && inStepAt[op] != stamp
+	}
+	// fits reports whether op alone respects the d budget. Ops wider
+	// than d can never execute; placement skips them so the progress
+	// check below surfaces the infeasibility as an error instead of
+	// emitting an illegal schedule.
+	fits := func(op int32) bool {
+		return opts.D <= 0 || len(m.Ops[op].Args) <= opts.D
+	}
+	// takeFree extracts ready, unclaimed free-list ops matching key,
+	// up to the remaining d budget, preserving free-list order.
+	takeFree := func(key schedule.GroupKey, qubits int) ([]int32, int) {
+		var taken []int32
+		for _, op := range ready {
+			if claimed[op] || !isReady(op) || schedule.KeyOf(m, op) != key {
+				continue
+			}
+			need := len(m.Ops[op].Args)
+			if opts.D > 0 && qubits+need > opts.D {
+				if log.Enabled(obs.LevelOp) {
+					log.Record(obs.LevelOp, obs.Decision{
+						Scheduler: "lpfs", Module: m.Name,
+						Step: len(s.Steps), Region: -1, Op: op,
+						Reason: obs.ReasonDBudget,
+						Detail: fmt.Sprintf("needs %d qubits, %d/%d used", need, qubits, opts.D),
+					})
+				}
+				break
+			}
+			taken = append(taken, op)
+			qubits += need
+		}
+		return taken, qubits
+	}
+	place := func(r int, ops []int32) {
+		if len(ops) == 0 {
+			return
+		}
+		step.Regions[r] = append(step.Regions[r], ops...)
+		for _, op := range ops {
+			inStepAt[op] = stamp
+		}
+		placed = append(placed, ops...)
 	}
 
 	scheduled := 0
 	for scheduled < n {
-		step := schedule.Step{Regions: make([][]int32, opts.K)}
-		var placed []int32
-		inStep := make(map[int32]bool)
-
-		isReady := func(op int32) bool {
-			return pending[op] == 0 && !done[op] && !inStep[op]
-		}
-		// fits reports whether op alone respects the d budget. Ops wider
-		// than d can never execute; placement skips them so the progress
-		// check below surfaces the infeasibility as an error instead of
-		// emitting an illegal schedule.
-		fits := func(op int32) bool {
-			return opts.D <= 0 || len(m.Ops[op].Args) <= opts.D
-		}
-		// takeFree extracts ready, unclaimed free-list ops matching key,
-		// up to the remaining d budget, preserving free-list order.
-		takeFree := func(key schedule.GroupKey, qubits int) ([]int32, int) {
-			var taken []int32
-			for _, op := range ready {
-				if claimed[op] || !isReady(op) || schedule.KeyOf(m, op) != key {
-					continue
-				}
-				need := len(m.Ops[op].Args)
-				if opts.D > 0 && qubits+need > opts.D {
-					if log.Enabled(obs.LevelOp) {
-						log.Record(obs.LevelOp, obs.Decision{
-							Scheduler: "lpfs", Module: m.Name,
-							Step: len(s.Steps), Region: -1, Op: op,
-							Reason: obs.ReasonDBudget,
-							Detail: fmt.Sprintf("needs %d qubits, %d/%d used", need, qubits, opts.D),
-						})
-					}
-					break
-				}
-				taken = append(taken, op)
-				qubits += need
-			}
-			return taken, qubits
-		}
-		place := func(r int, ops []int32) {
-			if len(ops) == 0 {
-				return
-			}
-			step.Regions[r] = append(step.Regions[r], ops...)
-			for _, op := range ops {
-				inStep[op] = true
-			}
-			placed = append(placed, ops...)
-		}
+		step = schedule.Step{Regions: make([][]int32, opts.K)}
+		placed = placed[:0]
+		stamp++
 
 		// Pinned path regions.
 		for i := 0; i < l; i++ {
 			if useRefill && len(paths[i]) == 0 {
-				paths[i] = g.NextLongestPath(orBool(done, claimed), ready)
+				paths[i] = g.NextLongestPath(blockedNow(), ready)
 				claim(paths[i])
 				if len(paths[i]) > 0 && log.Enabled(obs.LevelStep) {
 					log.Record(obs.LevelStep, obs.Decision{
@@ -177,7 +194,7 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 				why := "dependencies unsatisfied"
 				if !fits(head) {
 					why = fmt.Sprintf("needs %d qubits, d = %d", len(m.Ops[head].Args), opts.D)
-				} else if inStep[head] {
+				} else if inStepAt[head] == stamp {
 					why = "already placed this step"
 				}
 				log.Record(obs.LevelOp, obs.Decision{
@@ -293,15 +310,6 @@ func compactReady(ready []int32, done []bool) []int32 {
 		if !done[op] {
 			out = append(out, op)
 		}
-	}
-	return out
-}
-
-// orBool returns a fresh slice a[i] || b[i].
-func orBool(a, b []bool) []bool {
-	out := make([]bool, len(a))
-	for i := range a {
-		out[i] = a[i] || b[i]
 	}
 	return out
 }

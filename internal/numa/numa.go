@@ -31,15 +31,18 @@ type Config struct {
 	// Banks is the number of memory banks (>= 1).
 	Banks int
 	// FarPenalty is the extra cycles charged when a teleport's EPR pair
-	// comes from a non-adjacent bank; 0 defaults to DefaultFarPenalty.
-	FarPenalty int
+	// comes from a non-adjacent bank; nil defaults to DefaultFarPenalty.
+	// A pointer keeps an explicit zero representable: &0 models banks
+	// whose inter-bank channel is as fast as the local one, which the
+	// old int field silently promoted to the default.
+	FarPenalty *int
 }
 
 func (c Config) farPenalty() int {
-	if c.FarPenalty == 0 {
+	if c.FarPenalty == nil {
 		return DefaultFarPenalty
 	}
-	return c.FarPenalty
+	return *c.FarPenalty
 }
 
 // Validate rejects ill-formed configurations.
@@ -47,8 +50,8 @@ func (c Config) Validate() error {
 	if c.Banks < 1 {
 		return fmt.Errorf("numa: banks must be >= 1, got %d", c.Banks)
 	}
-	if c.FarPenalty < 0 {
-		return fmt.Errorf("numa: far penalty must be >= 0, got %d", c.FarPenalty)
+	if c.FarPenalty != nil && *c.FarPenalty < 0 {
+		return fmt.Errorf("numa: far penalty must be >= 0, got %d", *c.FarPenalty)
 	}
 	return nil
 }

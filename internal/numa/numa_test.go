@@ -119,6 +119,53 @@ func TestSingleBankIsUniform(t *testing.T) {
 	}
 }
 
+// TestExplicitZeroFarPenalty is the regression test for the config bug
+// where FarPenalty was a plain int and an explicit 0 was
+// indistinguishable from "unset", silently promoting a free inter-bank
+// channel to the 2-cycle default.
+func TestExplicitZeroFarPenalty(t *testing.T) {
+	s, res := pinnedSchedule(t)
+	allFar := numa.Assignment{1, 0} // every teleport crosses banks
+
+	zero := 0
+	zeroRes, err := numa.Analyze(s, res, allFar, numa.Config{Banks: 2, FarPenalty: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroRes.FarMoves == 0 {
+		t.Fatal("mapping expected to produce far moves")
+	}
+	if zeroRes.Cycles != res.Cycles {
+		t.Errorf("explicit zero penalty charged %d extra cycles",
+			zeroRes.Cycles-res.Cycles)
+	}
+
+	defRes, err := numa.Analyze(s, res, allFar, numa.Config{Banks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExtra := numa.DefaultFarPenalty * defRes.FarMoves
+	if defRes.Cycles != res.Cycles+wantExtra {
+		t.Errorf("nil penalty: cycles = %d, want baseline %d + default %d",
+			defRes.Cycles, res.Cycles, wantExtra)
+	}
+
+	three := 3
+	cfg := numa.Config{Banks: 2, FarPenalty: &three}
+	custRes, err := numa.Analyze(s, res, allFar, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custRes.Cycles != res.Cycles+3*custRes.FarMoves {
+		t.Errorf("custom penalty not applied: %+v", custRes)
+	}
+
+	neg := -1
+	if err := (numa.Config{Banks: 2, FarPenalty: &neg}).Validate(); err == nil {
+		t.Error("negative penalty accepted")
+	}
+}
+
 func TestAnalyzeValidation(t *testing.T) {
 	s, res := pinnedSchedule(t)
 	if _, err := numa.Analyze(s, res, numa.Assignment{0}, numa.Config{Banks: 2}); err == nil {

@@ -1,0 +1,28 @@
+package rcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+// BenchmarkSchedule exercises the auction inner loop — prevalence map,
+// locality counts and candidate list now live in hoisted scratch buffers,
+// so allocs/op tracks only the schedule being built.
+func BenchmarkSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 2000, Qubits: 12})
+	g, err := dag.Build(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(m, g, Options{K: 4, D: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -90,13 +90,27 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 	}
 	scheduled := 0
 
+	// Scratch buffers hoisted out of the per-step and per-candidate
+	// loops: the prevalence map is cleared (not reallocated) every
+	// auction round, and the per-op locality counts reuse one k-sized
+	// slice instead of allocating per ready candidate.
+	prev := make(map[schedule.GroupKey]int, 16)
+	counts := make([]int, opts.K)
+	regionFree := make([]bool, opts.K)
+	// cand weights are retained only when op-level decision logging asks
+	// for them (slack-lost detection).
+	type cand struct {
+		op          int32
+		w, wNoSlack float64
+	}
+	var cands []cand
+
 	for scheduled < n {
 		if len(ready) == 0 {
 			return nil, fmt.Errorf("rcp: deadlock with %d/%d ops scheduled", scheduled, n)
 		}
 		step := schedule.Step{Regions: make([][]int32, opts.K)}
 		var placed []int32
-		regionFree := make([]bool, opts.K)
 		for r := range regionFree {
 			regionFree[r] = true
 		}
@@ -104,7 +118,7 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 
 		for freeRegions > 0 && len(ready) > 0 {
 			// Prevalence of each group key in the ready list.
-			prev := map[schedule.GroupKey]int{}
+			clear(prev)
 			for _, op := range ready {
 				prev[schedule.KeyOf(m, op)]++
 			}
@@ -112,13 +126,7 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 			bestW := 0.0
 			bestOp := int32(-1)
 			bestRegion := -1
-			// Candidate weights are retained only when op-level decision
-			// logging asks for them (slack-lost detection).
-			type cand struct {
-				op          int32
-				w, wNoSlack float64
-			}
-			var cands []cand
+			cands = cands[:0]
 			logOps := log.Enabled(obs.LevelOp)
 			for _, op := range ready {
 				key := schedule.KeyOf(m, op)
@@ -131,7 +139,9 @@ func Schedule(m *ir.Module, g *dag.Graph, opts Options) (*schedule.Schedule, err
 				// region.
 				locality := 0
 				region := -1
-				counts := make([]int, opts.K)
+				for r := range counts {
+					counts[r] = 0
+				}
 				for _, slot := range m.Ops[op].Args {
 					if r := loc[slot]; r >= 0 && regionFree[r] {
 						counts[r]++

@@ -39,6 +39,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/numa"
 	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/obscli"
+	"github.com/scaffold-go/multisimd/internal/report"
 	"github.com/scaffold-go/multisimd/internal/resource"
 )
 
@@ -53,8 +54,9 @@ func main() {
 	fth := flag.Int64("fth", 0, "flattening threshold override (0 = scale default)")
 	schedName := flag.String("sched", "lpfs", "scheduler for the extended experiments (registered: rcp, lpfs)")
 	workers := flag.Int("workers", 0, "evaluation concurrency (0 = GOMAXPROCS, 1 = serial)")
-	perfOut := flag.String("perf-out", "", "write per-benchmark BENCH_<name>.json perf records into this `dir` instead of running an experiment")
-	perfAgainst := flag.String("perf-against", "", "baseline `dir` of committed BENCH_<name>.json records; with -perf-out, fail if any cold wall time regresses more than 25% past the baseline")
+	perfOut := flag.String("perf-out", "", "write per-benchmark BENCH_<name>.json perf records and REPORT_<name>.json schedule reports into this `dir` instead of running an experiment")
+	perfAgainst := flag.String("perf-against", "", "baseline `dir` of committed BENCH_<name>.json records; with -perf-out, fail if any cold or warm wall time regresses more than 25% past the baseline")
+	reportAgainst := flag.String("report-against", "", "baseline `dir` of committed REPORT_<name>.json schedule reports; with -perf-out, attribute any schedule-level delta to modules/regions/steps and fail on a schedule regression")
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -66,10 +68,13 @@ func main() {
 			return err
 		}
 		if *perfOut != "" {
-			return writePerfRecords(*perfOut, *perfAgainst, *schedName, *fth, *workers)
+			return writePerfRecords(*perfOut, *perfAgainst, *reportAgainst, *schedName, *fth, *workers)
 		}
 		if *perfAgainst != "" {
 			return fmt.Errorf("-perf-against requires -perf-out")
+		}
+		if *reportAgainst != "" {
+			return fmt.Errorf("-report-against requires -perf-out")
 		}
 		if err := run(*exp, *scale, *fth, *schedName, *workers); err != nil {
 			return err
@@ -496,7 +501,8 @@ func regressionLimit(baselineMS float64) float64 {
 }
 
 // checkAgainst compares a fresh record with the committed baseline in
-// dir. A missing baseline file is not an error — new benchmarks join
+// dir, gating both the cold and warm wall times with the same 25%+50ms
+// slack. A missing baseline file is not an error — new benchmarks join
 // the trajectory on their first committed record.
 func checkAgainst(dir string, rec perfRecord) error {
 	path := filepath.Join(dir, "BENCH_"+rec.Benchmark+".json")
@@ -516,17 +522,55 @@ func checkAgainst(dir string, rec perfRecord) error {
 		return fmt.Errorf("%s: cold wall time %.1fms exceeds %.1fms (baseline %.1fms + 25%% + 50ms slack)",
 			rec.Benchmark, rec.ColdWallMS, limit, base.ColdWallMS)
 	}
+	if limit := regressionLimit(base.WarmWallMS); rec.WarmWallMS > limit {
+		return fmt.Errorf("%s: warm wall time %.1fms exceeds %.1fms (baseline %.1fms + 25%% + 50ms slack)",
+			rec.Benchmark, rec.WarmWallMS, limit, base.WarmWallMS)
+	}
+	return nil
+}
+
+// checkReportAgainst diffs a fresh schedule report with the committed
+// baseline in dir, printing the module/region/step attribution of any
+// movement. Only a schedule regression (longer comm-expanded runtime or
+// longer zero-comm schedule) is an error; improvements and neutral
+// shuffles are narrated but pass. A missing baseline passes like
+// checkAgainst.
+func checkReportAgainst(dir string, rec *report.Report) error {
+	path := filepath.Join(dir, "REPORT_"+rec.Benchmark+".json")
+	base, err := report.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		fmt.Printf("%-10s no baseline report at %s, skipping check\n", rec.Benchmark, path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	d := report.Diff(base, rec)
+	if err := d.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if d.Regression {
+		var buf strings.Builder
+		if err := d.WriteText(&buf); err != nil {
+			return err
+		}
+		return fmt.Errorf("schedule regression vs %s:\n%s", path, buf.String())
+	}
 	return nil
 }
 
 // writePerfRecords evaluates each small benchmark twice at k=4 — a cold
 // run that fills the EvalCache and a warm run that should hit it — and
 // writes the wall times, cache behavior and worker-pool peak per
-// benchmark. Each benchmark gets a fresh cache and metrics registry so
-// records are independent. With a non-empty against dir, every record
-// is also checked for cold-wall-time regressions; all benchmarks still
-// run and write records before the first regression is reported.
-func writePerfRecords(dir, against, schedName string, fth int64, workers int) error {
+// benchmark, plus a REPORT_<name>.json schedule report from a third,
+// untimed profiled run (profiling bypasses the warm comm-cache fast
+// path, so it stays out of the timed pair to keep wall times comparable
+// with committed baselines). Each benchmark gets a fresh cache and
+// metrics registry so records are independent. With a non-empty against
+// / reportAgainst dir, every record is also checked for wall-time /
+// schedule regressions; all benchmarks still run and write records
+// before the first regression is reported.
+func writePerfRecords(dir, against, reportAgainst, schedName string, fth int64, workers int) error {
 	sched, err := core.SchedulerByName(schedName)
 	if err != nil {
 		return err
@@ -588,9 +632,26 @@ func writePerfRecords(dir, against, schedName string, fth int64, workers int) er
 				regressions = append(regressions, err)
 			}
 		}
+
+		popts := opts
+		popts.Profile = report.NewCollector()
+		pm, err := core.Evaluate(w.Prog, popts)
+		if err != nil {
+			return fmt.Errorf("%s profile: %w", b.Name, err)
+		}
+		sr := core.BuildReport(popts.Profile, b.Name, pm, popts)
+		rpath := filepath.Join(dir, "REPORT_"+b.Name+".json")
+		if err := sr.WriteJSONFile(rpath); err != nil {
+			return err
+		}
+		if reportAgainst != "" {
+			if err := checkReportAgainst(reportAgainst, sr); err != nil {
+				regressions = append(regressions, err)
+			}
+		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("perf regression vs %s: %w", against, errors.Join(regressions...))
+		return fmt.Errorf("regression vs committed baselines: %w", errors.Join(regressions...))
 	}
 	return nil
 }

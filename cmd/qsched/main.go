@@ -20,6 +20,11 @@
 //	-verify          run the independent legality oracle over every leaf
 //	                 schedule and move list; failures name the module,
 //	                 step, region and op
+//	-report out.html       self-contained HTML schedule report (SVG
+//	                       timeline with move arrows, utilization,
+//	                       move/slack analytics; no external assets)
+//	-report-json out.json  the same analytics as versioned JSON
+//	                       (schema in internal/report)
 //
 // Observability (see DESIGN.md):
 //
@@ -34,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/scaffold-go/multisimd/internal/bench"
@@ -43,6 +49,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/epr"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/obscli"
+	"github.com/scaffold-go/multisimd/internal/report"
 )
 
 // config gathers the full flag surface; one struct keeps run's
@@ -56,8 +63,22 @@ type config struct {
 	benchName string
 	dump      string
 	verify    bool
+	report    string
+	reportJS  string
 	obs       obscli.Flags
 	args      []string
+}
+
+// benchmarkLabel names the run in report artifacts: the -bench name, or
+// the source file's base name.
+func (cfg config) benchmarkLabel() string {
+	if cfg.benchName != "" {
+		return cfg.benchName
+	}
+	if len(cfg.args) == 1 {
+		return filepath.Base(cfg.args[0])
+	}
+	return "program"
 }
 
 func main() {
@@ -71,6 +92,8 @@ func main() {
 	flag.StringVar(&cfg.benchName, "bench", "", "built-in benchmark name")
 	flag.StringVar(&cfg.dump, "dump", "", "dump the fine-grained schedule of the named leaf module (timesteps, regions, move list)")
 	flag.BoolVar(&cfg.verify, "verify", false, "check every leaf schedule and move list with the legality oracle")
+	flag.StringVar(&cfg.report, "report", "", "write a self-contained HTML schedule report (timeline, utilization, move analytics) to this `file`")
+	flag.StringVar(&cfg.reportJS, "report-json", "", "write the versioned JSON schedule report to this `file`")
 	cfg.obs.Register(flag.CommandLine)
 	flag.Parse()
 	cfg.args = flag.Args()
@@ -118,19 +141,38 @@ func run(cfg config) error {
 	if cfg.dump != "" {
 		return dumpLeaf(prog, cfg.dump, sched, cfg.k, cfg.d, cfg.local)
 	}
-	m, err := core.Evaluate(prog, core.EvalOptions{
+	eopts := core.EvalOptions{
 		Scheduler:     sched,
 		K:             cfg.k,
 		D:             cfg.d,
 		LocalCapacity: cfg.local,
 		Verify:        cfg.verify,
 		Obs:           obsv,
-	})
+	}
+	if cfg.report != "" || cfg.reportJS != "" {
+		eopts.Profile = report.NewCollector()
+	}
+	m, err := core.Evaluate(prog, eopts)
 	if err != nil {
 		return err
 	}
 	if err := cfg.obs.Finish(obsv); err != nil {
 		return err
+	}
+	if eopts.Profile != nil {
+		r := core.BuildReport(eopts.Profile, cfg.benchmarkLabel(), m, eopts)
+		if cfg.report != "" {
+			if err := r.WriteHTMLFile(cfg.report); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "qsched: HTML schedule report written to %s\n", cfg.report)
+		}
+		if cfg.reportJS != "" {
+			if err := r.WriteJSONFile(cfg.reportJS); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "qsched: JSON schedule report written to %s\n", cfg.reportJS)
+		}
 	}
 
 	fmt.Printf("scheduler:           %s\n", sched.Name())

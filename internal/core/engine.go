@@ -281,6 +281,13 @@ func (e *engine) evalLeaves(leaves []*leafState) error {
 	return runTasks(n, workers, task)
 }
 
+// profiled reports whether this width slot feeds the schedule profiler:
+// leaves are profiled once, at the machine width k — the last entry of
+// the ascending width set.
+func (e *engine) profiled(wi int) bool {
+	return e.opts.Profile != nil && wi == len(e.widths)-1
+}
+
 // characterize fills one leaf's width slot, consulting the cache layers
 // outermost-first: a comm hit is free; a schedule hit re-runs only
 // comm.Analyze; a miss schedules and analyzes, then populates both.
@@ -304,8 +311,9 @@ func (e *engine) characterize(ls *leafState, wi, slot int, sp *obs.Span) error {
 	sk := schedKey{fp: ls.fp, config: e.cfg, w: w, d: e.opts.D}
 	ck := commKey{sk: sk, comm: e.comm}
 	// Verification re-derives the move list, so it bypasses the warm
-	// fast path: a cached result may predate the oracle.
-	if ce, ok := e.cache.commResult(ck); ok && !e.opts.Verify {
+	// fast path: a cached result may predate the oracle. Profiling needs
+	// the schedule and move lists too, but only at the profiled width.
+	if ce, ok := e.cache.commResult(ck); ok && !e.opts.Verify && !e.profiled(wi) {
 		sp.SetStr("cache", "comm-hit")
 		ls.slots[wi] = ce
 		return nil
@@ -363,6 +371,15 @@ func (e *engine) characterize(ls *leafState, wi, slot int, sp *obs.Span) error {
 			e.eo.tr.Instant("verify", "rejection: "+ls.name, 0)
 			return fmt.Errorf("width %d: %w", w, err)
 		}
+	}
+	if e.profiled(wi) {
+		// Analyze copies everything it keeps, so the slot's reusable
+		// analyzer arena is free to serve the next task.
+		_, g, err := ls.graph(e.opts.materializeLimit())
+		if err != nil {
+			return err
+		}
+		e.opts.Profile.Add(ls.name, s, g, res)
 	}
 	ce := commEntry{
 		zeroLen: int64(s.Length()),

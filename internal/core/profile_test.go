@@ -1,0 +1,108 @@
+package core_test
+
+// Engine-side tests of the schedule profiler hook (EvalOptions.Profile):
+// the collector sees every leaf at machine width, warm caches do not
+// starve it, worker-pool order does not perturb it, and the assembled
+// report agrees with the Metrics the evaluation returns.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/report"
+)
+
+func TestEvaluateProfileCollectsLeaves(t *testing.T) {
+	progs := engineWorkloads(t)
+	p := progs["Grovers"]
+	if p == nil {
+		t.Fatal("no Grovers workload")
+	}
+	opts := core.EvalOptions{
+		K:       4,
+		Comm:    comm.Options{LocalCapacity: -1},
+		Profile: report.NewCollector(),
+		Verify:  true, // profiled numbers ride on verified move lists
+	}
+	m, err := core.Evaluate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Profile.Len(); got != m.Leaves {
+		t.Fatalf("profiled %d modules, evaluation had %d leaves", got, m.Leaves)
+	}
+	r := core.BuildReport(opts.Profile, "Grovers", m, opts)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Totals.CommCycles != m.CommCycles || r.Totals.ZeroCommSteps != m.ZeroCommSteps ||
+		r.Totals.GlobalMoves != m.GlobalMoves || r.Totals.CriticalPath != m.CriticalPath {
+		t.Errorf("report totals %+v disagree with Metrics %+v", r.Totals, m)
+	}
+	if r.Scheduler != "rcp" || r.K != 4 {
+		t.Errorf("report config %s/k=%d, want rcp/k=4", r.Scheduler, r.K)
+	}
+	for _, mod := range r.Modules {
+		if mod.Width != 4 {
+			t.Errorf("module %s profiled at width %d, want machine width 4", mod.Name, mod.Width)
+		}
+	}
+}
+
+// TestProfileOnWarmCache is the cache-interaction pin: a fully warm
+// cache serves comm entries without schedules, so a profiled run must
+// bypass that fast path (like Verify) and still see every leaf.
+func TestProfileOnWarmCache(t *testing.T) {
+	progs := engineWorkloads(t)
+	p := progs["BWT"]
+	if p == nil {
+		t.Fatal("no BWT workload")
+	}
+	cache := core.NewEvalCache()
+	opts := core.EvalOptions{K: 4, Cache: cache}
+	m1, err := core.Evaluate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Profile = report.NewCollector()
+	m2, err := core.Evaluate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Errorf("profiling changed the metrics: %+v vs %+v", m1, m2)
+	}
+	if got := opts.Profile.Len(); got != m2.Leaves {
+		t.Fatalf("warm run profiled %d modules, want %d leaves", got, m2.Leaves)
+	}
+}
+
+// TestProfileWorkerInvariance runs the profiled evaluation serially and
+// on a wide pool; the assembled reports must be identical.
+func TestProfileWorkerInvariance(t *testing.T) {
+	progs := engineWorkloads(t)
+	p := progs["SHA-1"]
+	if p == nil {
+		t.Fatal("no SHA-1 workload")
+	}
+	var reports []*report.Report
+	for _, workers := range []int{1, 8} {
+		opts := core.EvalOptions{
+			K:       4,
+			Comm:    comm.Options{LocalCapacity: 2},
+			Workers: workers,
+			Profile: report.NewCollector(),
+		}
+		m, err := core.Evaluate(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, core.BuildReport(opts.Profile, "SHA-1", m, opts))
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Error("report differs between Workers=1 and Workers=8")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import "github.com/scaffold-go/multisimd/internal/report"
+
+// BuildReport assembles the versioned schedule report of one evaluation
+// from the profiles a Collector gathered (EvalOptions.Profile) and the
+// run's final Metrics. The Totals block denormalizes Metrics plus its
+// derived ratios so the report is self-contained; Modules carries the
+// per-leaf analytics sorted by name.
+func BuildReport(c *report.Collector, benchmark string, m *Metrics, opts EvalOptions) *report.Report {
+	r := &report.Report{
+		Schema:    report.SchemaVersion,
+		Benchmark: benchmark,
+		Scheduler: opts.scheduler().Name(),
+		K:         opts.K,
+		D:         opts.D,
+		Comm:      report.CommConfigOf(opts.comm()),
+		Totals: report.Totals{
+			TotalGates:     m.TotalGates,
+			MinQubits:      m.MinQubits,
+			Modules:        m.Modules,
+			Leaves:         m.Leaves,
+			CriticalPath:   m.CriticalPath,
+			ZeroCommSteps:  m.ZeroCommSteps,
+			CommCycles:     m.CommCycles,
+			GlobalMoves:    m.GlobalMoves,
+			LocalMoves:     m.LocalMoves,
+			SeqCycles:      m.SeqCycles,
+			NaiveCycles:    m.NaiveCycles,
+			SpeedupVsSeq:   m.SpeedupVsSeq(),
+			SpeedupVsNaive: m.SpeedupVsNaive(),
+			CPSpeedup:      m.CPSpeedup(),
+		},
+		Modules: c.Modules(),
+	}
+	if m.CommCycles > 0 && m.CommCycles > m.ZeroCommSteps {
+		r.Totals.CommOverheadFraction =
+			float64(m.CommCycles-m.ZeroCommSteps) / float64(m.CommCycles)
+	}
+	return r
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -87,30 +89,77 @@ func (r Reason) String() string {
 	return "unknown"
 }
 
+// ParseReason inverts String; JSONL round trips through it.
+func ParseReason(s string) (Reason, error) {
+	for r := ReasonChosen; r <= ReasonRefill; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown decision reason %q", s)
+}
+
+// MarshalJSON renders the reason as its string name, keeping the JSONL
+// stream readable and stable if the enum ever reorders.
+func (r Reason) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON parses the string form.
+func (r *Reason) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseReason(s)
+	if err != nil {
+		return err
+	}
+	*r = parsed
+	return nil
+}
+
 // Decision is one scheduler introspection record.
 type Decision struct {
-	Scheduler string
-	Module    string
-	Step      int
-	Region    int
-	Op        int32 // op index within the module; -1 when not op-specific
-	Reason    Reason
-	Detail    string
+	Scheduler string `json:"scheduler"`
+	Module    string `json:"module"`
+	Step      int    `json:"step"`
+	Region    int    `json:"region"`
+	Op        int32  `json:"op"` // op index within the module; -1 when not op-specific
+	Reason    Reason `json:"reason"`
+	Detail    string `json:"detail,omitempty"`
 }
 
-// DecisionLog accumulates scheduler decisions at or below its level. A
-// nil *DecisionLog is the disabled log: Enabled is false and Record
-// no-ops. Safe for concurrent use (the engine schedules leaves from a
-// worker pool).
+// DefaultDecisionLimit caps NewDecisionLog's retention. Shor's-scale
+// benchmarks at LevelOp emit a decision per deferred op per step —
+// unbounded retention would eat the heap long before the run finishes;
+// a million records (~80MB worst case) keeps every realistic debugging
+// session intact while bounding the pathological ones.
+const DefaultDecisionLimit = 1 << 20
+
+// DecisionLog accumulates scheduler decisions at or below its level,
+// keeping at most its limit and counting the overflow (Dropped). A nil
+// *DecisionLog is the disabled log: Enabled is false and Record no-ops.
+// Safe for concurrent use (the engine schedules leaves from a worker
+// pool).
 type DecisionLog struct {
 	level   Level
+	limit   int
 	mu      sync.Mutex
 	entries []Decision
+	dropped int64
 }
 
-// NewDecisionLog returns a log recording entries at or below level.
+// NewDecisionLog returns a log recording entries at or below level,
+// retaining at most DefaultDecisionLimit records.
 func NewDecisionLog(level Level) *DecisionLog {
-	return &DecisionLog{level: level}
+	return NewDecisionLogLimit(level, DefaultDecisionLimit)
+}
+
+// NewDecisionLogLimit returns a log retaining at most limit records
+// (<= 0: unlimited). Records past the limit are counted, not kept.
+func NewDecisionLogLimit(level Level, limit int) *DecisionLog {
+	return &DecisionLog{level: level, limit: limit}
 }
 
 // Enabled reports whether records at lv are kept. Schedulers gate
@@ -119,14 +168,30 @@ func (l *DecisionLog) Enabled(lv Level) bool {
 	return l != nil && lv != LevelOff && l.level >= lv
 }
 
-// Record appends d when the log accepts records at lv.
+// Record appends d when the log accepts records at lv. Past the
+// retention limit it only counts: the head of a run is the part that
+// explains a schedule, and a bounded log can't keep both ends.
 func (l *DecisionLog) Record(lv Level, d Decision) {
 	if !l.Enabled(lv) {
 		return
 	}
 	l.mu.Lock()
-	l.entries = append(l.entries, d)
+	if l.limit > 0 && len(l.entries) >= l.limit {
+		l.dropped++
+	} else {
+		l.entries = append(l.entries, d)
+	}
 	l.mu.Unlock()
+}
+
+// Dropped reports how many records the retention limit discarded.
+func (l *DecisionLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Len reports the number of records kept.
@@ -193,7 +258,58 @@ func (l *DecisionLog) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
+	if l.dropped > 0 {
+		n, err := fmt.Fprintf(w, "# dropped %d decisions past the %d-record limit\n", l.dropped, l.limit)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
 	return total, nil
+}
+
+// WriteJSONL renders the log as one JSON object per line — the
+// machine-readable sibling of WriteTo, loadable line-by-line without
+// holding the whole log in memory. A trailing comment line reports any
+// retention-limit drops (ReadJSONL skips it).
+func (l *DecisionLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for i := range l.entries {
+		if err := enc.Encode(&l.entries[i]); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "# dropped %d decisions past the %d-record limit\n", l.dropped, l.limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a WriteJSONL stream back into decisions, skipping
+// blank and comment lines.
+func ReadJSONL(r io.Reader) ([]Decision, error) {
+	var out []Decision
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return nil, fmt.Errorf("obs: decision JSONL: %w", err)
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
 }
 
 // WriteFile renders the log to path.

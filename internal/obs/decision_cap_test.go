@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDecisionLogCap pins the retention limit: records past the cap are
+// counted, not kept, and both renderings note the drop.
+func TestDecisionLogCap(t *testing.T) {
+	l := NewDecisionLogLimit(LevelStep, 3)
+	for i := 0; i < 10; i++ {
+		l.Record(LevelStep, Decision{Scheduler: "rcp", Module: "m", Step: i, Op: -1})
+	}
+	if l.Len() != 3 {
+		t.Errorf("kept %d records, want 3", l.Len())
+	}
+	if l.Dropped() != 7 {
+		t.Errorf("dropped %d, want 7", l.Dropped())
+	}
+	// The head of the run survives.
+	for i, d := range l.Entries() {
+		if d.Step != i {
+			t.Errorf("entry %d has step %d; the cap must keep the head", i, d.Step)
+		}
+	}
+
+	var text strings.Builder
+	if _, err := l.WriteTo(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "# dropped 7 decisions") {
+		t.Errorf("text rendering lacks the drop note:\n%s", text.String())
+	}
+	var jsonl strings.Builder
+	if err := l.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), "# dropped 7 decisions") {
+		t.Errorf("JSONL rendering lacks the drop note:\n%s", jsonl.String())
+	}
+}
+
+func TestDecisionLogCapConcurrent(t *testing.T) {
+	l := NewDecisionLogLimit(LevelOp, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(LevelOp, Decision{Scheduler: "lpfs", Module: "m", Step: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 100 {
+		t.Errorf("kept %d, want exactly the 100-record cap", l.Len())
+	}
+	if l.Dropped() != 700 {
+		t.Errorf("dropped %d, want 700", l.Dropped())
+	}
+}
+
+// TestDecisionLogDefaultsCapped guards against NewDecisionLog quietly
+// reverting to unbounded growth — the Shor's-scale OOM this cap exists
+// to prevent.
+func TestDecisionLogDefaultsCapped(t *testing.T) {
+	l := NewDecisionLog(LevelOp)
+	if l.limit != DefaultDecisionLimit {
+		t.Errorf("default limit %d, want %d", l.limit, DefaultDecisionLimit)
+	}
+	// Explicit no-limit opt-out stays available.
+	u := NewDecisionLogLimit(LevelOp, 0)
+	for i := 0; i < 10; i++ {
+		u.Record(LevelOp, Decision{})
+	}
+	if u.Len() != 10 || u.Dropped() != 0 {
+		t.Errorf("unlimited log kept %d / dropped %d", u.Len(), u.Dropped())
+	}
+}
+
+// TestDecisionJSONLRoundTrip writes and re-reads the machine-readable
+// form; reasons travel as strings.
+func TestDecisionJSONLRoundTrip(t *testing.T) {
+	l := NewDecisionLog(LevelOp)
+	want := []Decision{
+		{Scheduler: "lpfs", Module: "BF.x", Step: 0, Region: 1, Op: 34, Reason: ReasonChosen, Detail: "weight 12"},
+		{Scheduler: "lpfs", Module: "BF.x", Step: 1, Region: 0, Op: -1, Reason: ReasonRefill},
+		{Scheduler: "rcp", Module: "y", Step: 2, Region: 3, Op: 7, Reason: ReasonDBudget, Detail: "needs 2, 7/8 used"},
+	}
+	for _, d := range want {
+		l.Record(LevelStep, d)
+	}
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"reason":"d-budget"`) {
+		t.Errorf("reasons must serialize as strings:\n%s", b.String())
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip drift:\n got %+v\nwant %+v", got, want)
+	}
+
+	if _, err := ReadJSONL(strings.NewReader(`{"reason":"telepathy"}`)); err == nil {
+		t.Error("unknown reason accepted")
+	}
+	// Comment and blank lines (the drop note) are skipped.
+	got, err = ReadJSONL(strings.NewReader("\n# dropped 7 decisions past the 3-record limit\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("comment skip: %v, %d records", err, len(got))
+	}
+}
+
+func TestReasonParseInvertsString(t *testing.T) {
+	for r := ReasonChosen; r <= ReasonRefill; r++ {
+		back, err := ParseReason(r.String())
+		if err != nil || back != r {
+			t.Errorf("reason %d: parse(%q) = %v, %v", r, r.String(), back, err)
+		}
+	}
+	if _, err := ParseReason("unknown"); err == nil {
+		t.Error("\"unknown\" parsed as a reason")
+	}
+}

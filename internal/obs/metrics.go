@@ -236,7 +236,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
+		hs := HistSnapshot{Sum: h.Sum()}
 		var cum int64
 		for i := 0; i < histBuckets; i++ {
 			n := h.buckets[i].Load()
@@ -246,6 +246,12 @@ func (r *Registry) Snapshot() Snapshot {
 			cum += n
 			hs.Buckets = append(hs.Buckets, HistBucket{LE: bucketBound(i), Count: cum})
 		}
+		// Count derives from the buckets rather than the separate count
+		// cell: Observe touches count before buckets, so an observation
+		// landing between the two reads would otherwise produce a snapshot
+		// whose +Inf bucket sits below its count — an invalid (decreasing)
+		// Prometheus cumulative series under concurrent scrape.
+		hs.Count = cum
 		s.Histograms[name] = hs
 	}
 	return s

@@ -1,0 +1,413 @@
+package report
+
+// This file renders a Report as one fully self-contained HTML document:
+// inline CSS, inline SVG, zero external assets (no scripts, stylesheets,
+// fonts or images are fetched), so the file can be archived next to a
+// BENCH_*.json record and opened years later. Everything geometric is
+// precomputed in Go and handed to a stdlib html/template as plain
+// numbers and strings; the template only lays structure out.
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"os"
+	"strings"
+)
+
+// Gantt geometry (pixels).
+const (
+	laneH     = 16  // region lane height
+	laneGap   = 2   // gap between lanes
+	ganttMaxW = 960 // max drawing width; step width shrinks to fit
+	railH     = 10  // global-memory rail height
+	sparkW    = 640 // sparkline box
+	sparkH    = 48
+)
+
+// svgRect is one Gantt cell.
+type svgRect struct {
+	X, Y, W, H float64
+	Fill       string
+	Title      string
+}
+
+// svgLine is one move arrow (or scratchpad tick).
+type svgLine struct {
+	X1, Y1, X2, Y2 float64
+	Stroke         string
+	Width          float64
+	Dash           string
+}
+
+// svgText is an axis or lane label.
+type svgText struct {
+	X, Y float64
+	S    string
+}
+
+// ganttView is the precomputed SVG scene of one module timeline.
+type ganttView struct {
+	W, H   float64
+	Rects  []svgRect
+	Lines  []svgLine
+	Labels []svgText
+	Note   string
+}
+
+// sparkView is a utilization sparkline scene.
+type sparkView struct {
+	W, H      float64
+	Points    string // polyline points
+	MaxLabel  string
+	Truncated bool
+}
+
+// histView renders a small inline bar strip for a histogram.
+type histBar struct {
+	X, H  float64
+	Title string
+}
+type histView struct {
+	W, H float64
+	BarW float64
+	Bars []histBar
+}
+
+// moduleView pairs a ModuleReport with its precomputed drawings.
+type moduleView struct {
+	ModuleReport
+	UtilPct     string
+	OverheadPct string
+	SlackMean   string
+	Spark       *sparkView
+	Gantt       *ganttView
+	DFill       *histView
+	SlackH      *histView
+	Anchor      string
+}
+
+// pageView is the full template payload.
+type pageView struct {
+	*Report
+	OverheadPct string
+	Speedup     string
+	SpeedupSeq  string
+	CPBound     string
+	CommDesc    string
+	Modules     []moduleView
+}
+
+// WriteHTML renders the report as a self-contained HTML document.
+func (r *Report) WriteHTML(w io.Writer) error {
+	pv := pageView{
+		Report:      r,
+		OverheadPct: pct(r.Totals.CommOverheadFraction),
+		Speedup:     fmt.Sprintf("%.2f", r.Totals.SpeedupVsNaive),
+		SpeedupSeq:  fmt.Sprintf("%.2f", r.Totals.SpeedupVsSeq),
+		CPBound:     fmt.Sprintf("%.2f", r.Totals.CPSpeedup),
+		CommDesc:    commDesc(r.Comm),
+	}
+	for _, m := range r.Modules {
+		mv := moduleView{
+			ModuleReport: m,
+			UtilPct:      pct(m.Utilization),
+			OverheadPct:  pct(m.CommOverheadFraction),
+			SlackMean:    fmt.Sprintf("%.2f", m.Slack.Mean),
+			Anchor:       anchor(m.Name),
+			Spark:        buildSpark(&m),
+			DFill:        buildHist(m.DFillHist, "region-steps on %d qubits"),
+			SlackH:       buildHist(m.Slack.Hist, "ops with slack %d"),
+		}
+		if m.Gantt != nil {
+			mv.Gantt = buildGanttView(&m)
+		}
+		pv.Modules = append(pv.Modules, mv)
+	}
+	return pageTmpl.Execute(w, pv)
+}
+
+// WriteHTMLFile renders the report to path.
+func (r *Report) WriteHTMLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteHTML(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func anchor(name string) string {
+	return "mod-" + strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+func commDesc(c CommConfig) string {
+	local := "no scratchpads"
+	switch {
+	case c.LocalCapacity < 0:
+		local = "unlimited scratchpads"
+	case c.LocalCapacity > 0:
+		local = fmt.Sprintf("scratchpad capacity %d", c.LocalCapacity)
+	}
+	model := "masked movement"
+	if c.NoOverlap {
+		model = "strict (no-overlap) movement"
+	}
+	bw := "unlimited EPR bandwidth"
+	if c.EPRBandwidth > 0 {
+		bw = fmt.Sprintf("EPR bandwidth %d/boundary", c.EPRBandwidth)
+	}
+	return local + ", " + model + ", " + bw
+}
+
+// buildSpark turns the per-step occupancy series into a polyline.
+func buildSpark(m *ModuleReport) *sparkView {
+	if len(m.StepOccupancy) == 0 || m.Width == 0 {
+		return nil
+	}
+	sv := &sparkView{W: sparkW, H: sparkH, MaxLabel: fmt.Sprint(m.Width), Truncated: m.Truncated}
+	n := len(m.StepOccupancy)
+	var b strings.Builder
+	for t, occ := range m.StepOccupancy {
+		x := float64(t) / float64(max(n-1, 1)) * (sparkW - 2)
+		y := (sparkH - 4) * (1 - float64(occ)/float64(m.Width))
+		fmt.Fprintf(&b, "%.1f,%.1f ", x+1, y+2)
+	}
+	sv.Points = strings.TrimSpace(b.String())
+	return sv
+}
+
+// buildHist renders a histogram as a fixed-height bar strip.
+func buildHist(hist []int64, titleFmt string) *histView {
+	var peak int64
+	last := -1
+	for i, v := range hist {
+		if v > peak {
+			peak = v
+		}
+		if v > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	hv := &histView{H: 36, BarW: 10}
+	hv.W = float64(last+1) * 12
+	for i := 0; i <= last; i++ {
+		h := 0.0
+		if peak > 0 {
+			h = 32 * float64(hist[i]) / float64(peak)
+		}
+		label := fmt.Sprintf(titleFmt, i)
+		if i == len(hist)-1 {
+			label = strings.Replace(label, fmt.Sprint(i), fmt.Sprintf(">=%d", i), 1)
+		}
+		hv.Bars = append(hv.Bars, histBar{X: float64(i) * 12, H: h, Title: fmt.Sprintf("%s: %d", label, hist[i])})
+	}
+	return hv
+}
+
+// fillFor shades a cell by its d-fill (qubits touched), light to dark.
+func fillFor(qubits, peak int) string {
+	f := 1.0
+	if peak > 0 {
+		f = float64(qubits) / float64(peak)
+	}
+	// Interpolate lightness 85% -> 45% on a fixed blue hue.
+	l := 85 - 40*f
+	return fmt.Sprintf("hsl(212,55%%,%.0f%%)", l)
+}
+
+// buildGanttView lays the timeline out: one lane per region, a global
+// rail below, boundary move arrows overlaid (teleports solid, local
+// scratchpad moves dashed ticks).
+func buildGanttView(m *ModuleReport) *ganttView {
+	g := m.Gantt
+	stepW := 12.0
+	if w := float64(g.Steps) * stepW; w > ganttMaxW {
+		stepW = ganttMaxW / float64(g.Steps)
+	}
+	if stepW < 1.5 {
+		stepW = 1.5
+	}
+	labelW := 52.0
+	lanes := m.Width
+	railY := float64(lanes) * (laneH + laneGap)
+	gv := &ganttView{
+		W: labelW + float64(g.Steps)*stepW + 8,
+		H: railY + railH + 18,
+	}
+	laneY := func(r int) float64 {
+		if r < 0 {
+			return railY + railH/2 // global rail center
+		}
+		return float64(r)*(laneH+laneGap) + laneH/2
+	}
+	for r := 0; r < lanes; r++ {
+		gv.Labels = append(gv.Labels, svgText{X: 2, Y: laneY(r) + 4, S: fmt.Sprintf("r%d", r)})
+	}
+	gv.Labels = append(gv.Labels, svgText{X: 2, Y: laneY(-1) + 4, S: "glob"})
+	gv.Labels = append(gv.Labels, svgText{X: labelW, Y: railY + railH + 14, S: "t=0"})
+	gv.Labels = append(gv.Labels, svgText{
+		X: labelW + float64(g.Steps-1)*stepW, Y: railY + railH + 14, S: fmt.Sprintf("t=%d", g.Steps-1)})
+
+	peak := 1
+	for _, c := range g.Cells {
+		if c.Qubits > peak {
+			peak = c.Qubits
+		}
+	}
+	for _, c := range g.Cells {
+		gv.Rects = append(gv.Rects, svgRect{
+			X: labelW + float64(c.Step)*stepW, Y: float64(c.Region) * (laneH + laneGap),
+			W: stepW - 0.5, H: laneH,
+			Fill:  fillFor(c.Qubits, peak),
+			Title: fmt.Sprintf("t=%d r=%d: %d ops, %d qubits", c.Step, c.Region, c.Ops, c.Qubits),
+		})
+	}
+	// Global-memory rail backdrop.
+	gv.Rects = append(gv.Rects, svgRect{
+		X: labelW, Y: railY, W: float64(g.Steps) * stepW, H: railH, Fill: "#e8e3da",
+	})
+	for _, mv := range g.Moves {
+		x := labelW + float64(mv.Step)*stepW
+		if mv.Global {
+			gv.Lines = append(gv.Lines, svgLine{
+				X1: x, Y1: laneY(mv.From), X2: x, Y2: laneY(mv.To),
+				Stroke: "#b5543a", Width: 1.1,
+			})
+			// Arrowhead: a short chevron toward the destination.
+			dir := 3.0
+			if laneY(mv.To) < laneY(mv.From) {
+				dir = -3.0
+			}
+			gv.Lines = append(gv.Lines,
+				svgLine{X1: x - 2.5, Y1: laneY(mv.To) - dir, X2: x, Y2: laneY(mv.To), Stroke: "#b5543a", Width: 1.1},
+				svgLine{X1: x + 2.5, Y1: laneY(mv.To) - dir, X2: x, Y2: laneY(mv.To), Stroke: "#b5543a", Width: 1.1})
+		} else {
+			// Local scratchpad move: dashed tick hanging off the lane.
+			y := laneY(mv.To)
+			gv.Lines = append(gv.Lines, svgLine{
+				X1: x, Y1: y - laneH/2, X2: x, Y2: y + laneH/2,
+				Stroke: "#4a7d4a", Width: 1.1, Dash: "2,2",
+			})
+		}
+	}
+	if g.MovesTruncated {
+		gv.Note = fmt.Sprintf("move overlay truncated to the first %d moves", ganttMoveCap)
+	}
+	return gv
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var pageTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"sub": func(a, b float64) float64 { return a - b },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>schedule report: {{.Benchmark}} ({{.Scheduler}}, k={{.K}})</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; color: #1f1d1a; background: #faf8f5; margin: 2rem auto; max-width: 1040px; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; border-top: 1px solid #ddd6cb; padding-top: 1rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { text-align: right; padding: .15rem .6rem; border-bottom: 1px solid #e8e3da; }
+th { font-weight: 600; } td.l, th.l { text-align: left; }
+.muted { color: #6e6a63; font-size: .85rem; }
+svg { display: block; margin: .4rem 0; }
+a { color: #23527c; }
+.legend span { display: inline-block; margin-right: 1.2rem; }
+.key { display: inline-block; width: 1.6em; height: .7em; vertical-align: baseline; }
+</style>
+</head>
+<body>
+<h1>Schedule report — {{.Benchmark}}</h1>
+<p class="muted">scheduler {{.Scheduler}}, Multi-SIMD({{.K}},{{if .D}}{{.D}}{{else}}&infin;{{end}}); {{.CommDesc}}; schema v{{.Schema}}</p>
+
+<table>
+<tr><th class="l">total gates</th><td>{{.Totals.TotalGates}}</td>
+    <th class="l">min qubits Q</th><td>{{.Totals.MinQubits}}</td>
+    <th class="l">modules / leaves</th><td>{{.Totals.Modules}} / {{.Totals.Leaves}}</td></tr>
+<tr><th class="l">critical path</th><td>{{.Totals.CriticalPath}}</td>
+    <th class="l">zero-comm steps</th><td>{{.Totals.ZeroCommSteps}}</td>
+    <th class="l">comm-aware cycles</th><td>{{.Totals.CommCycles}}</td></tr>
+<tr><th class="l">teleports (EPR)</th><td>{{.Totals.GlobalMoves}}</td>
+    <th class="l">local moves</th><td>{{.Totals.LocalMoves}}</td>
+    <th class="l">comm overhead</th><td>{{.OverheadPct}}</td></tr>
+<tr><th class="l">speedup vs naive</th><td>{{.Speedup}}&times;</td>
+    <th class="l">speedup vs seq</th><td>{{.SpeedupSeq}}&times;</td>
+    <th class="l">cp bound</th><td>{{.CPBound}}&times;</td></tr>
+</table>
+
+<h2>Profiled leaf modules</h2>
+<table>
+<tr><th class="l">module</th><th>steps</th><th>cp</th><th>cycles</th><th>util</th><th>overhead</th><th>teleports</th><th>local</th><th>mean slack</th></tr>
+{{range .Modules}}<tr><td class="l"><a href="#{{.Anchor}}">{{.Name}}</a></td><td>{{.Steps}}</td><td>{{.CriticalPath}}</td><td>{{.Cycles}}</td><td>{{.UtilPct}}</td><td>{{.OverheadPct}}</td><td>{{.Moves.Global}}</td><td>{{.Moves.Local}}</td><td>{{.SlackMean}}</td></tr>
+{{end}}</table>
+
+{{range .Modules}}
+<h2 id="{{.Anchor}}">{{.Name}}</h2>
+<p class="muted">{{.Ops}} ops in {{.Steps}} steps on {{.Width}} regions (critical path {{.CriticalPath}});
+{{.Cycles}} cycles with movement, {{.StallCycles}} stalled ({{.OverheadPct}});
+utilization {{.UtilPct}}; max slack {{.Slack.Max}}, mean {{.SlackMean}}.
+moves: {{.Moves.Global}} teleports / {{.Moves.Local}} local
+({{.Moves.Arrivals}} arrivals, {{.Moves.EvictToLocal}} to scratchpad, {{.Moves.EvictToGlobal}} flushed, {{.Moves.FromLocal}} departures);
+peak EPR burst {{.Moves.PeakEPRBandwidth}}, peak scratchpad occupancy {{.Moves.MaxLocalOccupancy}}.</p>
+
+{{with .Spark}}
+<svg width="{{.W}}" height="{{.H}}" viewBox="0 0 {{.W}} {{.H}}" role="img" aria-label="busy regions per timestep">
+  <rect x="0" y="0" width="{{.W}}" height="{{.H}}" fill="#f1ede6"/>
+  <polyline points="{{.Points}}" fill="none" stroke="#23527c" stroke-width="1.2"/>
+  <text x="4" y="12" font-size="10" fill="#6e6a63">busy regions per step (max {{.MaxLabel}}){{if .Truncated}} — series truncated{{end}}</text>
+</svg>
+{{end}}
+
+{{with .Gantt}}
+<svg width="{{.W}}" height="{{.H}}" viewBox="0 0 {{.W}} {{.H}}" role="img" aria-label="region timeline with move arrows">
+  {{range .Rects}}<rect x="{{.X}}" y="{{.Y}}" width="{{.W}}" height="{{.H}}" fill="{{.Fill}}">{{if .Title}}<title>{{.Title}}</title>{{end}}</rect>
+  {{end}}{{range .Lines}}<line x1="{{.X1}}" y1="{{.Y1}}" x2="{{.X2}}" y2="{{.Y2}}" stroke="{{.Stroke}}" stroke-width="{{.Width}}"{{if .Dash}} stroke-dasharray="{{.Dash}}"{{end}} opacity="0.75"/>
+  {{end}}{{range .Labels}}<text x="{{.X}}" y="{{.Y}}" font-size="10" fill="#6e6a63">{{.S}}</text>
+  {{end}}
+</svg>
+<p class="legend muted"><span><span class="key" style="background:hsl(212,55%,60%)"></span> region busy (darker = fuller d lanes)</span>
+<span><span class="key" style="background:#b5543a"></span> teleport (arrow into destination lane; bottom rail = global memory)</span>
+<span><span class="key" style="background:#4a7d4a"></span> scratchpad move (dashed tick)</span>{{if .Note}} <span>{{.Note}}</span>{{end}}</p>
+{{else}}
+<p class="muted">timeline omitted ({{.Steps}} steps exceeds the {{240}}-step Gantt cap); the sparkline above carries the occupancy series.</p>
+{{end}}
+
+{{with .DFill}}<p class="muted">d-fill (qubits per busy region-step):</p>
+<svg width="{{.W}}" height="{{.H}}" viewBox="0 0 {{.W}} {{.H}}" role="img" aria-label="d-fill histogram">
+  {{$h := .H}}{{range .Bars}}<rect x="{{.X}}" y="{{sub $h .H}}" width="10" height="{{.H}}" fill="#23527c"><title>{{.Title}}</title></rect>
+  {{end}}
+</svg>{{end}}
+
+{{with .SlackH}}<p class="muted">slack (steps past ASAP level per op):</p>
+<svg width="{{.W}}" height="{{.H}}" viewBox="0 0 {{.W}} {{.H}}" role="img" aria-label="slack histogram">
+  {{$h := .H}}{{range .Bars}}<rect x="{{.X}}" y="{{sub $h .H}}" width="10" height="{{.H}}" fill="#7c5223"><title>{{.Title}}</title></rect>
+  {{end}}
+</svg>{{end}}
+{{end}}
+
+<p class="muted">generated by the multisimd toolflow (qsched -report); self-contained, no external assets.</p>
+</body>
+</html>
+`))

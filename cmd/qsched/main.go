@@ -42,7 +42,6 @@ import (
 	"path/filepath"
 	"strings"
 
-	"github.com/scaffold-go/multisimd/internal/bench"
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/dag"
@@ -50,30 +49,26 @@ import (
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/obscli"
 	"github.com/scaffold-go/multisimd/internal/report"
+	"github.com/scaffold-go/multisimd/internal/request"
 )
 
-// config gathers the full flag surface; one struct keeps run's
-// signature stable as options accrete.
+// config gathers the full flag surface: the shared request.Config (the
+// same struct qschedd's JSON handlers decode, so CLI and service
+// requests validate through one path) plus the CLI-only extras.
 type config struct {
-	schedName string
-	k, d      int
-	local     int
-	fth       int64
-	entry     string
-	benchName string
-	dump      string
-	verify    bool
-	report    string
-	reportJS  string
-	obs       obscli.Flags
-	args      []string
+	req      request.Config
+	dump     string
+	report   string
+	reportJS string
+	obs      obscli.Flags
+	args     []string
 }
 
 // benchmarkLabel names the run in report artifacts: the -bench name, or
 // the source file's base name.
 func (cfg config) benchmarkLabel() string {
-	if cfg.benchName != "" {
-		return cfg.benchName
+	if cfg.req.Bench != "" {
+		return cfg.req.Bench
 	}
 	if len(cfg.args) == 1 {
 		return filepath.Base(cfg.args[0])
@@ -83,15 +78,8 @@ func (cfg config) benchmarkLabel() string {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.schedName, "sched", "lpfs", "scheduler: rcp or lpfs")
-	flag.IntVar(&cfg.k, "k", 4, "SIMD regions")
-	flag.IntVar(&cfg.d, "d", 0, "data parallelism per region (0 = unlimited)")
-	flag.IntVar(&cfg.local, "local", 0, "scratchpad capacity per region (-1 = unlimited)")
-	flag.Int64Var(&cfg.fth, "fth", 2000, "flattening threshold")
-	flag.StringVar(&cfg.entry, "entry", "main", "entry module")
-	flag.StringVar(&cfg.benchName, "bench", "", "built-in benchmark name")
+	cfg.req.RegisterFlags(flag.CommandLine)
 	flag.StringVar(&cfg.dump, "dump", "", "dump the fine-grained schedule of the named leaf module (timesteps, regions, move list)")
-	flag.BoolVar(&cfg.verify, "verify", false, "check every leaf schedule and move list with the legality oracle")
 	flag.StringVar(&cfg.report, "report", "", "write a self-contained HTML schedule report (timeline, utilization, move analytics) to this `file`")
 	flag.StringVar(&cfg.reportJS, "report-json", "", "write the versioned JSON schedule report to this `file`")
 	cfg.obs.Register(flag.CommandLine)
@@ -105,49 +93,39 @@ func main() {
 }
 
 func run(cfg config) error {
-	sched, err := core.SchedulerByName(cfg.schedName)
-	if err != nil {
+	req := cfg.req
+	switch {
+	case len(cfg.args) == 1 && req.Bench == "":
+		data, err := os.ReadFile(cfg.args[0])
+		if err != nil {
+			return err
+		}
+		req.Source = string(data)
+	case len(cfg.args) > 0:
+		return fmt.Errorf("expected one source file or -bench name")
+	}
+	req = req.WithDefaults()
+	if err := req.Validate(); err != nil {
 		return err
 	}
 	obsv, err := cfg.obs.Setup(os.Stderr)
 	if err != nil {
 		return err
 	}
-	sched = core.WithDecisionLog(sched, obsv.D())
 
-	var src string
-	opts := core.PipelineOptions{Entry: cfg.entry, FTh: cfg.fth, Obs: obsv}
-	switch {
-	case cfg.benchName != "":
-		b, ok := bench.ByName(cfg.benchName)
-		if !ok {
-			return fmt.Errorf("unknown benchmark %q", cfg.benchName)
-		}
-		src = b.Source
-	case len(cfg.args) == 1:
-		data, err := os.ReadFile(cfg.args[0])
-		if err != nil {
-			return err
-		}
-		src = string(data)
-	default:
-		return fmt.Errorf("expected one source file or -bench name")
-	}
-
-	prog, err := core.Build(src, opts)
+	prog, err := req.Build(obsv)
 	if err != nil {
 		return err
 	}
-	if cfg.dump != "" {
-		return dumpLeaf(prog, cfg.dump, sched, cfg.k, cfg.d, cfg.local)
+	eopts, err := req.EvalOptions()
+	if err != nil {
+		return err
 	}
-	eopts := core.EvalOptions{
-		Scheduler:     sched,
-		K:             cfg.k,
-		D:             cfg.d,
-		LocalCapacity: cfg.local,
-		Verify:        cfg.verify,
-		Obs:           obsv,
+	sched := core.WithDecisionLog(eopts.Scheduler, obsv.D())
+	eopts.Scheduler = sched
+	eopts.Obs = obsv
+	if cfg.dump != "" {
+		return dumpLeaf(prog, cfg.dump, sched, req.K, req.D, req.Local)
 	}
 	if cfg.report != "" || cfg.reportJS != "" {
 		eopts.Profile = report.NewCollector()
@@ -176,10 +154,10 @@ func run(cfg config) error {
 	}
 
 	fmt.Printf("scheduler:           %s\n", sched.Name())
-	if cfg.verify {
+	if req.Verify {
 		fmt.Printf("verification:        every leaf schedule and move list legal\n")
 	}
-	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", cfg.k, dStr(cfg.d), capStr(cfg.local))
+	fmt.Printf("machine:             Multi-SIMD(%d,%s), local capacity %s\n", req.K, dStr(req.D), capStr(req.Local))
 	fmt.Printf("modules / leaves:    %d / %d\n", m.Modules, m.Leaves)
 	fmt.Printf("total gates:         %d\n", m.TotalGates)
 	fmt.Printf("min qubits Q:        %d\n", m.MinQubits)

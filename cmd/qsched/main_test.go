@@ -8,14 +8,18 @@ import (
 
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/request"
 	"github.com/scaffold-go/multisimd/internal/schedule"
 )
 
 // testConfig fills the defaults the flag declarations would.
 func testConfig(schedName, benchName, dump string, verify bool) config {
 	return config{
-		schedName: schedName, k: 4, local: -1, fth: 2000,
-		entry: "main", benchName: benchName, dump: dump, verify: verify,
+		req: request.Config{
+			Scheduler: schedName, K: 4, Local: -1, FTh: 2000,
+			Entry: "main", Bench: benchName, Verify: verify,
+		},
+		dump: dump,
 	}
 }
 
@@ -29,7 +33,7 @@ func TestRunEvaluation(t *testing.T) {
 
 func TestRunDump(t *testing.T) {
 	cfg := testConfig("lpfs", "BWT", "walk_step", false)
-	cfg.k = 2
+	cfg.req.K = 2
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,96 @@
+// Command qschedd is the compile service: a long-running daemon that
+// serves the Multi-SIMD pipeline over a versioned HTTP/JSON API.
+// Concurrent requests share one evaluation cache, identical in-flight
+// requests are coalesced into a single engine run, and admission
+// control bounds concurrent work (429 + Retry-After past the queue).
+//
+// Endpoints (see DESIGN.md "Service boundary"):
+//
+//	POST /v1/compile   evaluate a program or benchmark -> metrics
+//	POST /v1/schedule  fine-grained schedule of one leaf module
+//	POST /v1/report    full schedule report (versioned JSON analytics)
+//	POST /v1/verify    evaluation with the legality oracle forced on
+//	GET  /v1/healthz   liveness, queue depth, cache statistics
+//	GET  /v1/version   service/API versions, schedulers, benchmarks
+//	GET  /metrics      Prometheus text metrics (/metrics.json for JSON)
+//	GET  /debug/pprof/ net/http/pprof, on the same port
+//
+// Usage:
+//
+//	qschedd -addr :8080 -max-inflight 4 -queue 16
+//
+// Shutdown: SIGINT/SIGTERM stops accepting connections, drains
+// in-flight evaluations up to -shutdown-timeout, then aborts the rest.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/scaffold-go/multisimd/internal/server"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen `address` (host:port)")
+		maxInflight     = flag.Int("max-inflight", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+		queue           = flag.Int("queue", 0, "max evaluations waiting for a slot before 429 (0 = 4x max-inflight, negative = none)")
+		timeout         = flag.Duration("request-timeout", 2*time.Minute, "per-evaluation deadline")
+		workers         = flag.Int("workers", 0, "engine worker-pool size per evaluation (0 = engine default)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight work on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	if err := run(*addr, server.Options{
+		MaxInflight: *maxInflight,
+		MaxQueue:    *queue,
+		Timeout:     *timeout,
+		Workers:     *workers,
+	}, *shutdownTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "qschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opts server.Options, shutdownTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(opts)
+	defer srv.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "qschedd: serving on %s\n", addr)
+		err := httpSrv.ListenAndServe()
+		if !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "qschedd: shutting down, draining in-flight work")
+	srv.SetDraining()
+	grace, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(grace); err != nil {
+		fmt.Fprintf(os.Stderr, "qschedd: drain incomplete: %v\n", err)
+	}
+	if err := srv.Drain(grace); err != nil {
+		fmt.Fprintf(os.Stderr, "qschedd: aborting stragglers: %v\n", err)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"math/cmplx"
 	"strings"
 
+	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/ctqg"
 	"github.com/scaffold-go/multisimd/internal/sim"
@@ -94,7 +95,7 @@ module kernel(qbit a[%d], qbit b[%d], qbit c[%d], qbit p[%d], qbit cin, qbit ovf
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := core.Evaluate(built, core.EvalOptions{Scheduler: core.LPFS, K: 4, LocalCapacity: -1})
+	m, err := core.Evaluate(built, core.EvalOptions{Scheduler: core.LPFS, K: 4, Comm: comm.Options{LocalCapacity: -1}})
 	if err != nil {
 		log.Fatal(err)
 	}

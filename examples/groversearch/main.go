@@ -11,6 +11,7 @@ import (
 	"math/cmplx"
 
 	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/sim"
 )
@@ -73,11 +74,11 @@ func scheduling() {
 	fmt.Println("Grover n=8 on Multi-SIMD(k,inf):")
 	fmt.Printf("%-5s %10s %10s %12s %12s\n", "k", "rcp steps", "lpfs steps", "rcp naive-x", "lpfs naive-x")
 	for _, k := range []int{1, 2, 4, 8} {
-		r, err := core.Evaluate(prog, core.EvalOptions{Scheduler: core.RCP, K: k, LocalCapacity: -1})
+		r, err := core.Evaluate(prog, core.EvalOptions{Scheduler: core.RCP, K: k, Comm: comm.Options{LocalCapacity: -1}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		l, err := core.Evaluate(prog, core.EvalOptions{Scheduler: core.LPFS, K: k, LocalCapacity: -1})
+		l, err := core.Evaluate(prog, core.EvalOptions{Scheduler: core.LPFS, K: k, Comm: comm.Options{LocalCapacity: -1}})
 		if err != nil {
 			log.Fatal(err)
 		}

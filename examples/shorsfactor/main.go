@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/resource"
 )
@@ -46,7 +47,7 @@ func main() {
 	fmt.Println("speedup over naive movement vs machine size (LPFS, unlimited scratchpads):")
 	fmt.Printf("%-5s %12s %12s\n", "k", "cycles", "speedup")
 	for _, k := range []int{1, 2, 4, 8, 16, 32} {
-		m, err := core.Evaluate(prog, core.EvalOptions{Scheduler: core.LPFS, K: k, LocalCapacity: -1})
+		m, err := core.Evaluate(prog, core.EvalOptions{Scheduler: core.LPFS, K: k, Comm: comm.Options{LocalCapacity: -1}})
 		if err != nil {
 			log.Fatal(err)
 		}

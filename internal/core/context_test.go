@@ -1,0 +1,167 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// manyLeafSource builds a program with n structurally distinct leaf
+// modules so an evaluation has plenty of independent pool tasks to
+// abandon mid-run.
+func manyLeafSource(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "module leaf%d() {\n  qbit q[2];\n", i)
+		for j := 0; j <= i; j++ {
+			sb.WriteString("  H(q[0]);\n  CNOT(q[0], q[1]);\n")
+		}
+		sb.WriteString("}\n")
+	}
+	sb.WriteString("module main() {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  leaf%d();\n", i)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// gatedScheduler counts Schedule calls and blocks each one until the
+// test releases it, then delegates to LPFS. It lets the cancellation
+// tests freeze an evaluation mid-flight deterministically.
+type gatedScheduler struct {
+	calls   *atomic.Int64
+	started chan struct{} // receives one token per Schedule call start
+	release chan struct{} // closed to let calls proceed
+}
+
+func (g gatedScheduler) Name() string { return "gated-test" }
+
+func (g gatedScheduler) Schedule(m *ir.Module, gr *dag.Graph, k, d int) (*schedule.Schedule, error) {
+	g.calls.Add(1)
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	<-g.release
+	return core.LPFS.Schedule(m, gr, k, d)
+}
+
+// TestEvaluateContextCancellation is the service daemon's contract with
+// the engine: cancelling the context mid-evaluation stops the run — the
+// in-flight scheduler call finishes, no further task starts — and the
+// context's error surfaces.
+func TestEvaluateContextCancellation(t *testing.T) {
+	p, err := core.Build(manyLeafSource(6), core.PipelineOptions{SkipFlatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gatedScheduler{
+		calls:   &atomic.Int64{},
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.EvaluateContext(ctx, p, core.EvalOptions{Scheduler: g, K: 2, Workers: 1})
+		done <- err
+	}()
+
+	select {
+	case <-g.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduler never started")
+	}
+	cancel()
+	close(g.release)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("EvaluateContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("EvaluateContext did not return after cancellation")
+	}
+	// 6 leaves x widths {1, 2} = 12 tasks; the serial engine checks the
+	// context before each claim, so only the one in-flight call ran.
+	if n := g.calls.Load(); n != 1 {
+		t.Errorf("scheduler ran %d times after cancellation, want 1 (of 12 tasks)", n)
+	}
+}
+
+// TestEvaluateContextCancelledParallel exercises the pooled path: with
+// several workers frozen mid-task, cancellation drains the pool without
+// letting the remaining tasks start.
+func TestEvaluateContextCancelledParallel(t *testing.T) {
+	p, err := core.Build(manyLeafSource(8), core.PipelineOptions{SkipFlatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gatedScheduler{
+		calls:   &atomic.Int64{},
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.EvaluateContext(ctx, p, core.EvalOptions{Scheduler: g, K: 2, Workers: 4})
+		done <- err
+	}()
+	for i := 0; i < 4; i++ {
+		select {
+		case <-g.started:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d never started", i)
+		}
+	}
+	cancel()
+	close(g.release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("EvaluateContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("EvaluateContext did not return after cancellation")
+	}
+	// 8 leaves x widths {1, 2} = 16 tasks; the 4 frozen calls may finish,
+	// nothing new starts.
+	if n := g.calls.Load(); n > 4 {
+		t.Errorf("scheduler ran %d times after cancellation, want <= 4 (of 16 tasks)", n)
+	}
+}
+
+// TestEvaluateContextDeadline: an already-expired deadline fails fast
+// with DeadlineExceeded before any scheduling work happens.
+func TestEvaluateContextDeadline(t *testing.T) {
+	p, err := core.Build(toySource, core.PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	calls := &atomic.Int64{}
+	g := gatedScheduler{calls: calls, started: make(chan struct{}, 64), release: make(chan struct{})}
+	close(g.release)
+	_, err = core.EvaluateContext(ctx, p, core.EvalOptions{Scheduler: g, K: 2, Workers: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EvaluateContext returned %v, want context.DeadlineExceeded", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Errorf("scheduler ran %d times under an expired deadline", n)
+	}
+}

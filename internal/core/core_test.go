@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/ir"
 )
@@ -95,7 +96,7 @@ func TestEvaluateLocalMemoryNeverHurts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withLocal, err := core.Evaluate(p, core.EvalOptions{Scheduler: core.LPFS, K: 4, LocalCapacity: -1})
+	withLocal, err := core.Evaluate(p, core.EvalOptions{Scheduler: core.LPFS, K: 4, Comm: comm.Options{LocalCapacity: -1}})
 	if err != nil {
 		t.Fatal(err)
 	}

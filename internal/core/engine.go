@@ -19,6 +19,7 @@ package core
 // internal/obs).
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,6 +43,7 @@ func (o EvalOptions) workers() int {
 }
 
 type engine struct {
+	ctx    context.Context
 	p      *ir.Program
 	opts   EvalOptions
 	sched  Scheduler
@@ -97,7 +99,7 @@ func newEngObs(o *obs.Observer) engObs {
 	return eo
 }
 
-func newEngine(p *ir.Program, opts EvalOptions) *engine {
+func newEngine(ctx context.Context, p *ir.Program, opts EvalOptions) *engine {
 	cache := opts.Cache
 	if cache == nil {
 		// An ephemeral per-run cache still dedupes structurally identical
@@ -106,11 +108,12 @@ func newEngine(p *ir.Program, opts EvalOptions) *engine {
 	}
 	sched := opts.scheduler()
 	return &engine{
+		ctx:    ctx,
 		p:      p,
 		opts:   opts,
 		sched:  sched,
 		cfg:    schedulerConfig(sched),
-		comm:   opts.comm(),
+		comm:   opts.Comm,
 		widths: widthSet(opts.K),
 		cache:  cache,
 		eo:     newEngObs(opts.Obs),
@@ -164,6 +167,10 @@ func (e *engine) run(order []string, m *Metrics) (map[string]*moduleEval, error)
 	// characterization, so it stays serial.
 	csp := e.eo.tr.Span("engine", "compose")
 	for _, name := range order {
+		if err := e.ctx.Err(); err != nil {
+			csp.End()
+			return nil, err
+		}
 		mod := e.p.Modules[name]
 		if mod.IsLeaf() {
 			continue
@@ -278,7 +285,7 @@ func (e *engine) evalLeaves(leaves []*leafState) error {
 		}
 		return nil
 	}
-	return runTasks(n, workers, task)
+	return runTasks(e.ctx, n, workers, task)
 }
 
 // profiled reports whether this width slot feeds the schedule profiler:
@@ -399,13 +406,18 @@ func (e *engine) characterize(ls *leafState, wi, slot int, sp *obs.Span) error {
 // order from an atomic counter; on error the pool drains and the error
 // with the lowest task index is returned, which is the same error the
 // serial path would have surfaced (tasks are deterministic, and every
-// index below a claimed one has itself been claimed).
-func runTasks(n, workers int, task func(slot, i int) error) error {
+// index below a claimed one has itself been claimed). Context
+// cancellation is checked before each claim: in-flight tasks finish,
+// nothing new starts, and the context's error is returned.
+func runTasks(ctx context.Context, n, workers int, task func(slot, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := task(0, i); err != nil {
 				return err
 			}
@@ -422,6 +434,14 @@ func runTasks(n, workers int, task func(slot, i int) error) error {
 		firstEr error
 	)
 	next.Store(-1)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(slot int) {
@@ -431,13 +451,12 @@ func runTasks(n, workers int, task func(slot, i int) error) error {
 				if i >= n {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
 				if err := task(slot, i); err != nil {
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstEr = i, err
-					}
-					mu.Unlock()
-					stopped.Store(true)
+					fail(i, err)
 					return
 				}
 			}

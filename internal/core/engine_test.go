@@ -10,8 +10,6 @@ import (
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/ir"
-	"github.com/scaffold-go/multisimd/internal/lpfs"
-	"github.com/scaffold-go/multisimd/internal/rcp"
 )
 
 var (
@@ -159,58 +157,21 @@ func TestEvalCacheScheduleReuse(t *testing.T) {
 	}
 }
 
-// TestDeprecatedOptionForwarding keeps the pre-interface call sites
-// working: top-level comm fields and LPFSOpts/RCPOpts must behave like
-// their replacements.
-func TestDeprecatedOptionForwarding(t *testing.T) {
-	progs := engineWorkloads(t)
-	var p *ir.Program
-	for _, q := range progs {
-		p = q
-		break
+// TestRemovedEvalOptionFields pins the post-cleanup engine surface: the
+// transitional comm-forwarding fields and per-algorithm option structs
+// must stay deleted from EvalOptions. Comm options live on the embedded
+// comm.Options; tuned schedulers come from lpfs.New / rcp.New or the
+// registry.
+func TestRemovedEvalOptionFields(t *testing.T) {
+	removed := []string{"LocalCapacity", "NoOverlap", "EPRBandwidth", "LPFSOpts", "RCPOpts"}
+	typ := reflect.TypeOf(core.EvalOptions{})
+	for _, name := range removed {
+		if _, ok := typ.FieldByName(name); ok {
+			t.Errorf("EvalOptions still carries removed field %s", name)
+		}
 	}
-	cases := []struct {
-		name     string
-		old, new core.EvalOptions
-	}{
-		{
-			name: "LocalCapacity",
-			old:  core.EvalOptions{Scheduler: core.LPFS, K: 4, LocalCapacity: -1},
-			new:  core.EvalOptions{Scheduler: core.LPFS, K: 4, Comm: comm.Options{LocalCapacity: -1}},
-		},
-		{
-			name: "NoOverlap",
-			old:  core.EvalOptions{Scheduler: core.LPFS, K: 4, NoOverlap: true},
-			new:  core.EvalOptions{Scheduler: core.LPFS, K: 4, Comm: comm.Options{NoOverlap: true}},
-		},
-		{
-			name: "EPRBandwidth",
-			old:  core.EvalOptions{Scheduler: core.LPFS, K: 4, EPRBandwidth: 1},
-			new:  core.EvalOptions{Scheduler: core.LPFS, K: 4, Comm: comm.Options{EPRBandwidth: 1}},
-		},
-		{
-			name: "LPFSOpts",
-			old:  core.EvalOptions{Scheduler: core.LPFS, K: 4, LPFSOpts: lpfs.Options{NoOptions: true}},
-			new:  core.EvalOptions{Scheduler: lpfs.New(lpfs.Options{NoOptions: true}), K: 4},
-		},
-		{
-			name: "RCPOpts",
-			old:  core.EvalOptions{Scheduler: core.RCP, K: 4, RCPOpts: rcp.Options{WSlack: -1, ExplicitWeights: true}},
-			new:  core.EvalOptions{Scheduler: rcp.New(rcp.Options{WSlack: -1, ExplicitWeights: true}), K: 4},
-		},
-	}
-	for _, tc := range cases {
-		mOld, err := core.Evaluate(p, tc.old)
-		if err != nil {
-			t.Fatalf("%s old-style: %v", tc.name, err)
-		}
-		mNew, err := core.Evaluate(p, tc.new)
-		if err != nil {
-			t.Fatalf("%s new-style: %v", tc.name, err)
-		}
-		if !reflect.DeepEqual(mOld, mNew) {
-			t.Errorf("%s: deprecated field not forwarded: old %+v new %+v", tc.name, mOld, mNew)
-		}
+	if _, ok := typ.FieldByName("Comm"); !ok {
+		t.Error("EvalOptions lost its Comm field")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -72,23 +73,6 @@ type EvalOptions struct {
 	// comm.Analyze and the characterization cache key.
 	Comm comm.Options
 
-	// LocalCapacity is the per-region scratchpad size: 0 none, negative
-	// unlimited (Fig. 8's "Inf").
-	//
-	// Deprecated: set Comm.LocalCapacity. Forwarded when Comm's field is
-	// unset.
-	LocalCapacity int
-	// NoOverlap selects the strict (unmasked) §4.4 movement accounting.
-	//
-	// Deprecated: set Comm.NoOverlap. Forwarded when Comm's field is
-	// unset.
-	NoOverlap bool
-	// EPRBandwidth caps teleports per boundary (0 = unlimited, §2.3).
-	//
-	// Deprecated: set Comm.EPRBandwidth. Forwarded when Comm's field is
-	// unset.
-	EPRBandwidth int
-
 	// MaterializeLimit bounds leaf materialization (0 = 4M ops).
 	MaterializeLimit int64
 
@@ -128,14 +112,6 @@ type EvalOptions struct {
 	// cache per benchmark so repeated configurations reuse schedules and
 	// only re-run comm.Analyze when comm options change.
 	Cache *EvalCache
-
-	// LPFSOpts / RCPOpts override algorithm knobs for ablations; K and D
-	// inside them are ignored (taken from this struct).
-	//
-	// Deprecated: pass a tuned scheduler (lpfs.New / rcp.New) instead.
-	// Forwarded onto an untuned matching Scheduler during the transition.
-	LPFSOpts lpfs.Options
-	RCPOpts  rcp.Options
 }
 
 func (o EvalOptions) materializeLimit() int64 {
@@ -145,45 +121,14 @@ func (o EvalOptions) materializeLimit() int64 {
 	return o.MaterializeLimit
 }
 
-// comm resolves the effective communication options, forwarding the
-// deprecated top-level fields where the embedded struct is unset.
-func (o EvalOptions) comm() comm.Options {
-	c := o.Comm
-	if c.LocalCapacity == 0 {
-		c.LocalCapacity = o.LocalCapacity
-	}
-	if !c.NoOverlap {
-		c.NoOverlap = o.NoOverlap
-	}
-	if c.EPRBandwidth == 0 {
-		c.EPRBandwidth = o.EPRBandwidth
-	}
-	return c
-}
-
-// scheduler resolves the effective scheduler, defaulting to RCP and
-// forwarding the deprecated per-algorithm option fields onto an untuned
-// matching adapter.
+// scheduler resolves the effective scheduler, defaulting to RCP. Tuned
+// variants come from lpfs.New / rcp.New or the schedule registry; the
+// options struct no longer carries per-algorithm knobs.
 func (o EvalOptions) scheduler() Scheduler {
-	s := o.Scheduler
-	if s == nil {
-		s = RCP
+	if o.Scheduler == nil {
+		return RCP
 	}
-	switch t := s.(type) {
-	case rcp.Scheduler:
-		if t.Opts == (rcp.Options{}) && o.RCPOpts != (rcp.Options{}) {
-			t.Opts = o.RCPOpts
-			t.Opts.K, t.Opts.D = 0, 0
-			return t
-		}
-	case lpfs.Scheduler:
-		if t.Opts == (lpfs.Options{}) && o.LPFSOpts != (lpfs.Options{}) {
-			t.Opts = o.LPFSOpts
-			t.Opts.K, t.Opts.D = 0, 0
-			return t
-		}
-	}
-	return s
+	return o.Scheduler
 }
 
 // Metrics is the paper's per-benchmark measurement set.
@@ -251,10 +196,22 @@ type moduleEval struct {
 // memoize through EvalOptions.Cache; both are transparent — the returned
 // Metrics are identical to the serial, uncached path.
 func Evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
+	return EvaluateContext(context.Background(), p, opts)
+}
+
+// EvaluateContext is Evaluate under a context: cancellation or deadline
+// expiry stops the run between leaf-characterization tasks (in-flight
+// scheduler calls finish; nothing new starts) and between non-leaf
+// compositions, returning the context's error. Partial results never
+// leak — the cache only ever receives completed characterizations, so an
+// abandoned run leaves it consistent for the next caller. The service
+// daemon threads each request's context through here; batch callers use
+// Evaluate.
+func EvaluateContext(ctx context.Context, p *ir.Program, opts EvalOptions) (*Metrics, error) {
 	if opts.K < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1")
 	}
-	e := newEngine(p, opts)
+	e := newEngine(ctx, p, opts)
 	statsBefore := e.cache.Stats()
 	esp := e.eo.tr.Span("engine", "evaluate")
 	esp.SetInt("k", int64(opts.K))

@@ -14,7 +14,7 @@ func BuildReport(c *report.Collector, benchmark string, m *Metrics, opts EvalOpt
 		Scheduler: opts.scheduler().Name(),
 		K:         opts.K,
 		D:         opts.D,
-		Comm:      report.CommConfigOf(opts.comm()),
+		Comm:      report.CommConfigOf(opts.Comm),
 		Totals: report.Totals{
 			TotalGates:     m.TotalGates,
 			MinQubits:      m.MinQubits,

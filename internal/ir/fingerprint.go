@@ -74,3 +74,30 @@ func (m *Module) Fingerprint() Fingerprint {
 	h.Sum(f[:0])
 	return f
 }
+
+// Fingerprint computes a whole-program content hash: the entry name plus
+// every module's (name, body-fingerprint) pair in definition order.
+// Module names participate here — unlike in the per-module hash — because
+// call ops reference callees by name, so two programs with identical
+// bodies but re-wired call graphs must not collide. It is the dedup key
+// of the service daemon's singleflight layer: structurally identical
+// submissions (millions of users compiling the same textbook circuit)
+// hash equal and share one evaluation.
+func (p *Program) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	str := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	str(p.Entry)
+	for _, name := range p.Order {
+		str(name)
+		f := p.Modules[name].Fingerprint()
+		h.Write(f[:])
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -56,6 +56,49 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 }
 
+// fpProgram is a two-module program for the program-level hash tests.
+func fpProgram() *Program {
+	p := NewProgram("main")
+	leaf := NewModule("leaf", []Reg{{Name: "q", Size: 2}}, nil)
+	leaf.Gate(qasm.H, 0)
+	main := NewModule("main", nil, []Reg{{Name: "q", Size: 2}})
+	main.Ops = append(main.Ops, Op{Kind: CallOp, Callee: "leaf", CallArgs: []Range{{Start: 0, Len: 2}}, Count: 1})
+	p.Add(leaf)
+	p.Add(main)
+	return p
+}
+
+func TestProgramFingerprintStable(t *testing.T) {
+	if fpProgram().Fingerprint() != fpProgram().Fingerprint() {
+		t.Error("identical programs fingerprint differently")
+	}
+}
+
+func TestProgramFingerprintSensitivity(t *testing.T) {
+	base := fpProgram().Fingerprint()
+	mutations := map[string]func(*Program){
+		"entry":       func(p *Program) { p.Entry = "leaf" },
+		"module body": func(p *Program) { p.Modules["leaf"].Gate(qasm.T, 1) },
+		"module name": func(p *Program) {
+			// Rewire leaf -> leaf2: per-module hashes are name-blind, the
+			// program hash must not be (call graphs resolve by name).
+			m := p.Modules["leaf"]
+			m.Name = "leaf2"
+			delete(p.Modules, "leaf")
+			p.Modules["leaf2"] = m
+			p.Order[0] = "leaf2"
+			p.Modules["main"].Ops[0].Callee = "leaf2"
+		},
+	}
+	for name, mutate := range mutations {
+		p := fpProgram()
+		mutate(p)
+		if p.Fingerprint() == base {
+			t.Errorf("%s change not reflected in program fingerprint", name)
+		}
+	}
+}
+
 func TestFingerprintCallArgs(t *testing.T) {
 	a := fpModule()
 	a.Ops[2] = Op{Kind: CallOp, Callee: "f", CallArgs: []Range{{Start: 0, Len: 2}}, Count: 1}

@@ -3,47 +3,72 @@ package obs
 import (
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
 )
 
-// Handler serves the registry: Prometheus text format at the root (and
-// /metrics), the JSON snapshot at /metrics.json.
-func Handler(r *Registry) http.Handler {
-	mux := http.NewServeMux()
+// RegisterMetrics mounts the registry's endpoints on an existing mux:
+// Prometheus text format at /metrics, the JSON snapshot at
+// /metrics.json. Sharing a mux — rather than spawning a dedicated
+// listener per pillar — is how the service daemon exposes API, metrics
+// and pprof on one port without conflicts.
+func RegisterMetrics(mux *http.ServeMux, r *Registry) {
 	prom := func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	}
-	mux.HandleFunc("/", prom)
 	mux.HandleFunc("/metrics", prom)
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
+}
+
+// RegisterPprof mounts net/http/pprof's handlers on an existing mux
+// (the stdlib only self-registers on http.DefaultServeMux):
+// /debug/pprof/ for the index, /debug/pprof/profile for CPU,
+// /debug/pprof/heap, and so on.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler serves the registry: Prometheus text format at the root (and
+// /metrics), the JSON snapshot at /metrics.json.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	RegisterMetrics(mux, r)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
 	return mux
 }
 
-// ServeMetrics binds addr and serves the registry on it in the
-// background (Prometheus at /metrics, JSON at /metrics.json). The
-// returned listener reports the bound address and stops the server when
-// closed.
-func ServeMetrics(addr string, r *Registry) (net.Listener, error) {
+// Serve binds addr and serves h on it in the background. The returned
+// listener reports the bound address and stops the server when closed.
+func Serve(addr string, h http.Handler) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go func() { _ = http.Serve(ln, Handler(r)) }()
+	go func() { _ = http.Serve(ln, h) }()
 	return ln, nil
 }
 
-// ServePprof binds addr and serves net/http/pprof's handlers (the
-// default mux) in the background: /debug/pprof/ for the index,
-// /debug/pprof/profile for CPU, /debug/pprof/heap, and so on.
+// ServeMetrics binds addr and serves the registry on it in the
+// background (Prometheus at /metrics, JSON at /metrics.json).
+func ServeMetrics(addr string, r *Registry) (net.Listener, error) {
+	return Serve(addr, Handler(r))
+}
+
+// ServePprof binds addr and serves net/http/pprof's handlers in the
+// background: /debug/pprof/ for the index, /debug/pprof/profile for
+// CPU, /debug/pprof/heap, and so on.
 func ServePprof(addr string) (net.Listener, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	go func() { _ = http.Serve(ln, http.DefaultServeMux) }()
-	return ln, nil
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	return Serve(addr, mux)
 }

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 
 	"github.com/scaffold-go/multisimd/internal/obs"
 )
@@ -69,6 +70,20 @@ func (f *Flags) Setup(w io.Writer) (*obs.Observer, error) {
 	}
 	if level != obs.LevelOff {
 		o.Decisions = obs.NewDecisionLog(level)
+	}
+	if f.MetricsAddr != "" && f.MetricsAddr == f.PprofAddr {
+		// Same address for both endpoints: bind once and serve a shared
+		// mux — two listeners on one port would fail with EADDRINUSE.
+		mux := http.NewServeMux()
+		obs.RegisterMetrics(mux, o.Metrics)
+		obs.RegisterPprof(mux)
+		ln, err := obs.Serve(f.MetricsAddr, mux)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics-addr: %w", err)
+		}
+		fmt.Fprintf(w, "serving metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Fprintf(w, "serving pprof on http://%s/debug/pprof/\n", ln.Addr())
+		return o, nil
 	}
 	if f.MetricsAddr != "" {
 		ln, err := obs.ServeMetrics(f.MetricsAddr, o.Metrics)

@@ -2,8 +2,11 @@ package obscli
 
 import (
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/scaffold-go/multisimd/internal/obs"
@@ -42,6 +45,48 @@ func TestSetupRejectsBadLevel(t *testing.T) {
 	f := Flags{DecisionLevel: "chatty"}
 	if _, err := f.Setup(io.Discard); err == nil {
 		t.Error("bad -decision-level accepted")
+	}
+}
+
+// TestSetupSharedMetricsPprofAddr is the single-port regression test:
+// pointing -metrics-addr and -pprof-addr at the same address must bind
+// one listener serving both endpoint families, not fail with
+// "address already in use".
+func TestSetupSharedMetricsPprofAddr(t *testing.T) {
+	// Reserve a concrete free port, release it, and hand the same
+	// address to both flags.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	f := Flags{MetricsAddr: addr, PprofAddr: addr}
+	var banner strings.Builder
+	o, err := f.Setup(&banner)
+	if err != nil {
+		t.Fatalf("shared metrics/pprof address rejected: %v", err)
+	}
+	if o == nil || o.Metrics == nil {
+		t.Fatal("shared-address setup built no metrics registry")
+	}
+	o.Metrics.Counter("test.shared").Inc()
+
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	for _, want := range []string{"/metrics", "/debug/pprof/"} {
+		if !strings.Contains(banner.String(), want) {
+			t.Errorf("setup banner %q missing %s endpoint", banner.String(), want)
+		}
 	}
 }
 

@@ -1,0 +1,154 @@
+// Package server is the compile service behind cmd/qschedd: a
+// long-running daemon exposing the pipeline over a versioned HTTP/JSON
+// API. Every response carries a schema number; every error is a
+// structured body, never bare text. Concurrent requests share one
+// core.EvalCache, identical in-flight requests are coalesced into a
+// single evaluation, and admission control bounds the work the daemon
+// accepts at once.
+package server
+
+import (
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/request"
+)
+
+// SchemaVersion is stamped on every response envelope (success and
+// error alike) so clients can detect contract drift.
+const SchemaVersion = 1
+
+// Error codes returned in ErrorBody.Code.
+const (
+	CodeBadRequest    = "bad_request"     // undecodable or oversized body
+	CodeInvalid       = "invalid_request" // body decoded but failed validation
+	CodeCompileFailed = "compile_failed"  // program build (parse/lower) failed
+	CodeEvalFailed    = "evaluation_failed"
+	CodeOverloaded    = "overloaded" // admission queue full; retry later
+	CodeTimeout       = "timeout"    // evaluation exceeded the request deadline
+	CodeShuttingDown  = "shutting_down"
+)
+
+// ErrorBody is the structured error payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the envelope every non-2xx response carries.
+type ErrorResponse struct {
+	Schema int       `json:"schema"`
+	Error  ErrorBody `json:"error"`
+}
+
+// MetricsBody mirrors core.Metrics for the wire, denormalizing the
+// derived speedups so responses are self-contained.
+type MetricsBody struct {
+	TotalGates     int64   `json:"total_gates"`
+	MinQubits      int64   `json:"min_qubits"`
+	Modules        int     `json:"modules"`
+	Leaves         int     `json:"leaves"`
+	CriticalPath   int64   `json:"critical_path"`
+	ZeroCommSteps  int64   `json:"zero_comm_steps"`
+	CommCycles     int64   `json:"comm_cycles"`
+	GlobalMoves    int64   `json:"global_moves"`
+	LocalMoves     int64   `json:"local_moves"`
+	SeqCycles      int64   `json:"seq_cycles"`
+	NaiveCycles    int64   `json:"naive_cycles"`
+	SpeedupVsSeq   float64 `json:"speedup_vs_seq"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+	CPSpeedup      float64 `json:"cp_speedup"`
+}
+
+func metricsBody(m *core.Metrics) MetricsBody {
+	return MetricsBody{
+		TotalGates:     m.TotalGates,
+		MinQubits:      m.MinQubits,
+		Modules:        m.Modules,
+		Leaves:         m.Leaves,
+		CriticalPath:   m.CriticalPath,
+		ZeroCommSteps:  m.ZeroCommSteps,
+		CommCycles:     m.CommCycles,
+		GlobalMoves:    m.GlobalMoves,
+		LocalMoves:     m.LocalMoves,
+		SeqCycles:      m.SeqCycles,
+		NaiveCycles:    m.NaiveCycles,
+		SpeedupVsSeq:   m.SpeedupVsSeq(),
+		SpeedupVsNaive: m.SpeedupVsNaive(),
+		CPSpeedup:      m.CPSpeedup(),
+	}
+}
+
+// CompileResponse answers POST /v1/compile. Request carries the
+// normalized configuration the evaluation actually ran under (defaults
+// applied), and Deduped reports whether this request was served by
+// joining an identical in-flight evaluation.
+type CompileResponse struct {
+	Schema  int            `json:"schema"`
+	Label   string         `json:"label"`
+	Request request.Config `json:"request"`
+	Deduped bool           `json:"deduped"`
+	Metrics MetricsBody    `json:"metrics"`
+}
+
+// VerifyResponse answers POST /v1/verify: the same evaluation with the
+// independent legality oracle forced on. Verified is always true on a
+// 2xx — an illegal schedule is an evaluation_failed error.
+type VerifyResponse struct {
+	Schema   int            `json:"schema"`
+	Label    string         `json:"label"`
+	Request  request.Config `json:"request"`
+	Deduped  bool           `json:"deduped"`
+	Verified bool           `json:"verified"`
+	Metrics  MetricsBody    `json:"metrics"`
+}
+
+// ScheduleRequest asks for the fine-grained schedule of one leaf
+// module (the qsched -dump surface, as JSON). The embedded Config
+// supplies the program and machine the same way /v1/compile takes them.
+type ScheduleRequest struct {
+	request.Config
+	Module string `json:"module"`
+}
+
+// EPRBody summarizes the EPR pre-distribution plan of a leaf schedule.
+type EPRBody struct {
+	Bandwidth   int  `json:"bandwidth"`
+	Latency     int  `json:"latency"`
+	Pairs       int  `json:"pairs"`
+	PreIssued   int  `json:"pre_issued"`
+	MaxBuffered int  `json:"max_buffered"`
+	MakespanOK  bool `json:"makespan_ok"`
+}
+
+// ScheduleResponse answers POST /v1/schedule. Text is the paper's
+// timestep/region/move-list rendering of the schedule.
+type ScheduleResponse struct {
+	Schema       int     `json:"schema"`
+	Module       string  `json:"module"`
+	Ops          int     `json:"ops"`
+	CriticalPath int     `json:"critical_path"`
+	Steps        int     `json:"steps"`
+	Cycles       int64   `json:"cycles"`
+	GlobalMoves  int64   `json:"global_moves"`
+	LocalMoves   int64   `json:"local_moves"`
+	EPR          EPRBody `json:"epr"`
+	Text         string  `json:"text"`
+}
+
+// HealthResponse answers GET /v1/healthz.
+type HealthResponse struct {
+	Schema   int             `json:"schema"`
+	Status   string          `json:"status"` // "ok" or "draining"
+	Inflight int             `json:"inflight"`
+	Queued   int64           `json:"queued"`
+	Cache    core.CacheStats `json:"cache"`
+}
+
+// VersionResponse answers GET /v1/version.
+type VersionResponse struct {
+	Schema     int      `json:"schema"`
+	Service    string   `json:"service"`
+	API        string   `json:"api"`
+	GoVersion  string   `json:"go"`
+	Schedulers []string `json:"schedulers"`
+	Benchmarks []string `json:"benchmarks"`
+}

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/epr"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/report"
+	"github.com/scaffold-go/multisimd/internal/request"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+)
+
+// maxBodyBytes bounds request bodies; inline programs fit comfortably,
+// runaway uploads do not.
+const maxBodyBytes = 8 << 20
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we could answer"; nobody reads the response, but the
+// instruments count it as an error distinctly from server faults.
+const statusClientClosedRequest = 499
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{
+		Schema: SchemaVersion,
+		Error:  ErrorBody{Code: code, Message: msg},
+	})
+}
+
+// decode reads one JSON value from the body, strictly: unknown fields,
+// trailing garbage and oversized bodies are all bad_request. A false
+// return means the 400 has already been written.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// evalResult is what one evaluation flight produces: the metrics and,
+// when profiling was requested, the assembled schedule report.
+type evalResult struct {
+	m   *core.Metrics
+	rep *report.Report
+}
+
+// evaluate runs req through the shared flight group: identical
+// concurrent requests collapse onto one admission slot and one engine
+// run against the shared cache. The boolean reports whether this call
+// joined an existing flight.
+func (s *Server) evaluate(ctx context.Context, req request.Config, prog programBuilder) (evalResult, bool, error) {
+	p, err := prog()
+	if err != nil {
+		return evalResult{}, false, err
+	}
+	key := req.Key(p)
+	fn := func(workCtx context.Context) (any, error) {
+		s.wg.Add(1)
+		defer s.wg.Done()
+		release, err := s.admit(workCtx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		evalCtx, cancel := context.WithTimeout(workCtx, s.opts.Timeout)
+		defer cancel()
+
+		eopts, err := req.EvalOptions()
+		if err != nil {
+			return nil, err
+		}
+		eopts.Cache = s.cache
+		eopts.Workers = s.opts.Workers
+		var collector *report.Collector
+		if req.Profile {
+			collector = report.NewCollector()
+			eopts.Profile = collector
+		}
+		m, err := core.EvaluateContext(evalCtx, p, eopts)
+		if err != nil {
+			return nil, err
+		}
+		res := evalResult{m: m}
+		if collector != nil {
+			res.rep = core.BuildReport(collector, req.Label(), m, eopts)
+		}
+		return res, nil
+	}
+	val, deduped, err := s.flights.do(ctx, s.base, key, fn)
+	if err != nil {
+		return evalResult{}, deduped, err
+	}
+	if deduped {
+		s.dedupCounter.Inc()
+	}
+	return val.(evalResult), deduped, nil
+}
+
+// programBuilder defers the (comparatively cheap) parse+lower step so
+// evaluate can map its failures to compile_failed.
+type programBuilder = func() (*ir.Program, error)
+
+// writeEvalError maps an evaluation failure to its transport shape.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			"evaluation queue full; retry shortly")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout,
+			"evaluation exceeded the request deadline")
+	case errors.Is(err, context.Canceled):
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, CodeShuttingDown,
+				"server shutting down")
+			return
+		}
+		writeError(w, statusClientClosedRequest, CodeBadRequest,
+			"client closed request")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, CodeEvalFailed, err.Error())
+	}
+}
+
+// parseConfig decodes, defaults and validates the shared request
+// config; on failure the error response has been written and ok is
+// false.
+func (s *Server) parseConfig(w http.ResponseWriter, r *http.Request) (request.Config, bool) {
+	var req request.Config
+	if !s.decode(w, r, &req) {
+		return req, false
+	}
+	req = req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalid, err.Error())
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseConfig(w, r)
+	if !ok {
+		return
+	}
+	res, deduped, err := s.compile(r.Context(), w, req)
+	if err != nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Schema:  SchemaVersion,
+		Label:   req.Label(),
+		Request: req,
+		Deduped: deduped,
+		Metrics: metricsBody(res.m),
+	})
+}
+
+// compile builds and evaluates req, writing the error response itself
+// on failure (callers just return on err != nil).
+func (s *Server) compile(ctx context.Context, w http.ResponseWriter, req request.Config) (evalResult, bool, error) {
+	built := false
+	res, deduped, err := s.evaluate(ctx, req, func() (*ir.Program, error) {
+		p, berr := req.Build(nil)
+		built = berr == nil
+		return p, berr
+	})
+	if err != nil {
+		if !built {
+			writeError(w, http.StatusBadRequest, CodeCompileFailed, err.Error())
+		} else {
+			s.writeEvalError(w, err)
+		}
+	}
+	return res, deduped, err
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseConfig(w, r)
+	if !ok {
+		return
+	}
+	req.Verify = true
+	res, deduped, err := s.compile(r.Context(), w, req)
+	if err != nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, VerifyResponse{
+		Schema:   SchemaVersion,
+		Label:    req.Label(),
+		Request:  req,
+		Deduped:  deduped,
+		Verified: true,
+		Metrics:  metricsBody(res.m),
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseConfig(w, r)
+	if !ok {
+		return
+	}
+	req.Profile = true
+	res, _, err := s.compile(r.Context(), w, req)
+	if err != nil {
+		return
+	}
+	// report.Report is itself the versioned contract (Schema field).
+	writeJSON(w, http.StatusOK, res.rep)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var sreq ScheduleRequest
+	if !s.decode(w, r, &sreq) {
+		return
+	}
+	sreq.Config = sreq.Config.WithDefaults()
+	if err := sreq.Config.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalid, err.Error())
+		return
+	}
+	if sreq.Module == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalid, "module is required")
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.writeEvalError(w, err)
+		return
+	}
+	defer release()
+
+	resp, code, err := s.scheduleModule(sreq)
+	if err != nil {
+		writeError(w, code, codeFor(code), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func codeFor(status int) string {
+	if status == http.StatusBadRequest {
+		return CodeCompileFailed
+	}
+	return CodeEvalFailed
+}
+
+// scheduleModule produces the fine-grained leaf schedule the CLI's
+// -dump flag prints, as a structured response.
+func (s *Server) scheduleModule(sreq ScheduleRequest) (*ScheduleResponse, int, error) {
+	prog, err := sreq.Config.Build(nil)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	mod := prog.Module(sreq.Module)
+	if mod == nil {
+		var leaves []string
+		for _, n := range prog.Order {
+			if prog.Modules[n].IsLeaf() {
+				leaves = append(leaves, n)
+			}
+		}
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("no module %q; leaf modules: %s", sreq.Module, strings.Join(leaves, ", "))
+	}
+	if !mod.IsLeaf() {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("module %q is not a leaf; only fine-grained schedules can be served", sreq.Module)
+	}
+	eopts, err := sreq.Config.EvalOptions()
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	mat, err := mod.Materialize(1 << 22)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	g, err := dag.Build(mat)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	sched, err := eopts.Scheduler.Schedule(mat, g, sreq.K, sreq.D)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	res, err := comm.Analyze(sched, sreq.Comm())
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	eprCfg := epr.Config{Bandwidth: 2, Latency: 1}
+	if sreq.EPRBandwidth > 0 {
+		eprCfg.Bandwidth = int(sreq.EPRBandwidth)
+	}
+	plan, err := epr.Build(sched, res, eprCfg)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	var text strings.Builder
+	if err := comm.WriteSchedule(&text, sched, res); err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	return &ScheduleResponse{
+		Schema:       SchemaVersion,
+		Module:       sreq.Module,
+		Ops:          g.Len(),
+		CriticalPath: g.CriticalPath(),
+		Steps:        sched.Length(),
+		Cycles:       res.Cycles,
+		GlobalMoves:  res.GlobalMoves,
+		LocalMoves:   res.LocalMoves,
+		EPR: EPRBody{
+			Bandwidth:   eprCfg.Bandwidth,
+			Latency:     eprCfg.Latency,
+			Pairs:       plan.Pairs,
+			PreIssued:   plan.PreIssued,
+			MaxBuffered: plan.MaxBuffered,
+			MakespanOK:  plan.MakespanOK,
+		},
+		Text: text.String(),
+	}, http.StatusOK, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Schema:   SchemaVersion,
+		Status:   status,
+		Inflight: len(s.sem),
+		Queued:   s.queued.Load(),
+		Cache:    s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	var benches []string
+	for _, b := range bench.All() {
+		benches = append(benches, b.Name)
+	}
+	writeJSON(w, http.StatusOK, VersionResponse{
+		Schema:     SchemaVersion,
+		Service:    "qschedd",
+		API:        "v1",
+		GoVersion:  runtime.Version(),
+		Schedulers: schedule.Names(),
+		Benchmarks: benches,
+	})
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: every field
+// has a sensible default.
+type Options struct {
+	// MaxInflight bounds concurrent evaluations (not HTTP connections:
+	// deduplicated followers and the cheap read-only endpoints are
+	// free). Default: GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds evaluations waiting for an inflight slot before
+	// the server answers 429. Default: 4 * MaxInflight. Set negative
+	// for no queue at all.
+	MaxQueue int
+	// Timeout is the per-evaluation deadline. Default: 2 minutes.
+	Timeout time.Duration
+	// Workers is the engine worker-pool size per evaluation (0 = the
+	// engine's own default).
+	Workers int
+	// Registry receives the per-endpoint request counters and latency
+	// histograms, and is served at /metrics. Default: a fresh registry.
+	Registry *obs.Registry
+	// Cache is the shared evaluation cache. Default: a fresh cache.
+	Cache *core.EvalCache
+}
+
+// errBusy marks an admission rejection (queue full).
+var errBusy = errors.New("server: admission queue full")
+
+// Server is the compile service: one shared cache and flight group,
+// admission control, and the /v1 handler surface. Create with New,
+// mount Handler, and Close when done.
+type Server struct {
+	opts    Options
+	cache   *core.EvalCache
+	flights *flightGroup
+	sem     chan struct{}
+	queued  atomic.Int64
+	reg     *obs.Registry
+	mux     *http.ServeMux
+
+	// base is the parent of every evaluation context; Close cancels it
+	// so draining work stops even if clients hang around.
+	base     context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup // in-flight evaluation leaders
+	draining atomic.Bool
+
+	inflightGauge *obs.Gauge
+	queuedGauge   *obs.Gauge
+	dedupCounter  *obs.Counter
+	rejectCounter *obs.Counter
+}
+
+// New builds a Server from opts, applying defaults for zero fields.
+func New(opts Options) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = 4 * opts.MaxInflight
+	}
+	if opts.MaxQueue < 0 {
+		opts.MaxQueue = 0
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Minute
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	if opts.Cache == nil {
+		opts.Cache = core.NewEvalCache()
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		cache:   opts.Cache,
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, opts.MaxInflight),
+		reg:     opts.Registry,
+		base:    base,
+		stop:    stop,
+
+		inflightGauge: opts.Registry.Gauge("server.inflight"),
+		queuedGauge:   opts.Registry.Gauge("server.queued"),
+		dedupCounter:  opts.Registry.Counter("server.deduped"),
+		rejectCounter: opts.Registry.Counter("server.rejected"),
+	}
+	s.routes()
+	return s
+}
+
+// routes wires the /v1 surface plus the shared-mux observability
+// endpoints (metrics, pprof) — one port, no conflicts.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	s.mux.HandleFunc("POST /v1/schedule", s.instrument("schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/report", s.instrument("report", s.handleReport))
+	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	obs.RegisterMetrics(s.mux, s.reg)
+	obs.RegisterPprof(s.mux)
+}
+
+// Handler returns the server's full HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the instrument registry (the same one /metrics
+// serves).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Cache exposes the shared evaluation cache, e.g. for tests asserting
+// hit/miss traffic.
+func (s *Server) Cache() *core.EvalCache { return s.cache }
+
+// SetDraining flips the health status reported by /v1/healthz; the
+// daemon sets it when shutdown begins so load balancers stop routing
+// here while in-flight work drains.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight evaluation has finished or ctx
+// expires. Call after http.Server.Shutdown has stopped new arrivals.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels the context under every evaluation, aborting whatever
+// Drain did not see finish.
+func (s *Server) Close() { s.stop() }
+
+// admit claims an evaluation slot, waiting in the bounded queue when
+// all slots are busy. It returns errBusy when the queue is full and the
+// caller's context error if the client leaves while queued.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	claim := func() func() {
+		s.inflightGauge.Add(1)
+		return func() {
+			s.inflightGauge.Add(-1)
+			<-s.sem
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return claim(), nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		s.rejectCounter.Inc()
+		return nil, errBusy
+	}
+	s.queuedGauge.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		s.queuedGauge.Add(-1)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return claim(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// statusWriter remembers the response code for the latency/error
+// instruments.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with its per-endpoint request counter,
+// error counter and latency histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("server." + name + ".requests")
+	errs := s.reg.Counter("server." + name + ".errors")
+	lat := s.reg.Histogram("server." + name + ".latency_ms")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+		lat.Observe(time.Since(start).Milliseconds())
+	}
+}

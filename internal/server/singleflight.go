@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress evaluation shared by every request that
+// asked for the same dedup key. The work runs under its own context;
+// that context is cancelled the moment the last interested request
+// walks away, so abandoned work actually stops.
+type flight struct {
+	done    chan struct{} // closed when the work function returns
+	cancel  context.CancelFunc
+	waiters int
+	val     any
+	err     error
+}
+
+// flightGroup coalesces concurrent requests carrying identical dedup
+// keys into one evaluation. Unlike the classic singleflight pattern,
+// waiters are refcounted: a request whose context ends leaves the
+// flight, and when the count hits zero the work context is cancelled
+// and the key retired so later arrivals start fresh instead of joining
+// doomed work.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// do returns fn's result for key, joining an identical in-flight call
+// when one exists. The boolean reports whether this call was
+// deduplicated onto an existing flight. fn runs on a context derived
+// from base (the server's lifetime), not from ctx: one caller leaving
+// must not kill work other callers still wait on.
+func (g *flightGroup) do(ctx, base context.Context, key string, fn func(context.Context) (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, key, f, true)
+	}
+	workCtx, cancel := context.WithCancel(base)
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		f.val, f.err = fn(workCtx)
+		g.mu.Lock()
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight completes or the caller's context ends,
+// whichever comes first, maintaining the waiter refcount.
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight, joined bool) (any, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, joined, f.err
+	case <-ctx.Done():
+	}
+	g.mu.Lock()
+	f.waiters--
+	abandoned := f.waiters == 0
+	if abandoned && g.flights[key] == f {
+		// Nobody is listening anymore: retire the key so new arrivals
+		// start fresh work rather than joining a cancelled flight.
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+	return nil, joined, ctx.Err()
+}

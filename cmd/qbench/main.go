@@ -559,7 +559,8 @@ func checkReportAgainst(dir string, rec *report.Report) error {
 	return nil
 }
 
-// writePerfRecords evaluates each small benchmark twice at k=4 — a cold
+// writePerfRecords evaluates each gated benchmark (the eight small
+// presets plus the extended QAOA/QFT/QPE workloads) twice at k=4 — a cold
 // run that fills the EvalCache and a warm run that should hit it — and
 // writes the wall times, cache behavior and worker-pool peak per
 // benchmark, plus a REPORT_<name>.json schedule report from a third,
@@ -582,7 +583,7 @@ func writePerfRecords(dir, against, reportAgainst, schedName string, fth int64, 
 		fth = 2000
 	}
 	var regressions []error
-	for _, b := range bench.AllSmall() {
+	for _, b := range bench.Gated() {
 		w, err := buildWorkload(b, fth, true, workers)
 		if err != nil {
 			return err

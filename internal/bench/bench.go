@@ -97,9 +97,31 @@ func AllSmall() []Benchmark {
 	}
 }
 
-// ByName returns the small-preset benchmark with the given name.
+// Extended returns the workload-diversity benchmarks beyond the
+// paper's eight, at sizes whose leaves materialize and schedule quickly:
+// QAOA's shared-angle SIMD walls and QFT/QPE's all-distinct-angle
+// cascades bracket the Table 2 scheduling spectrum from both ends
+// (ROADMAP item 3). They ride the same baseline/report machinery as
+// AllSmall — see Gated.
+func Extended() []Benchmark {
+	return []Benchmark{
+		QAOA(8, 2),
+		QFT(8),
+		QPE(6),
+	}
+}
+
+// Gated returns every benchmark the perf/report regression gates cover:
+// the paper's eight small presets plus the extended workloads.
+func Gated() []Benchmark {
+	return append(AllSmall(), Extended()...)
+}
+
+// ByName returns the small-preset or extended benchmark with the given
+// name — the lookup behind qsched -bench and the service's
+// {"bench": ...} requests.
 func ByName(name string) (Benchmark, bool) {
-	for _, b := range AllSmall() {
+	for _, b := range Gated() {
 		if b.Name == name {
 			return b, true
 		}

@@ -1,0 +1,124 @@
+package bench_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/bench"
+	"github.com/scaffold-go/multisimd/internal/core"
+)
+
+// TestExtendedNamesAndLookups pins the extended registry: the paper set
+// stays exactly eight, the extended workloads ride behind Gated/ByName.
+func TestExtendedNamesAndLookups(t *testing.T) {
+	want := []string{"QAOA", "QFT", "QPE"}
+	ext := bench.Extended()
+	if len(ext) != len(want) {
+		t.Fatalf("Extended has %d entries, want %d", len(ext), len(want))
+	}
+	for i, name := range want {
+		if ext[i].Name != name {
+			t.Errorf("Extended[%d] = %s, want %s", i, ext[i].Name, name)
+		}
+		if _, ok := bench.ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if got := len(bench.Gated()); got != len(bench.AllSmall())+len(ext) {
+		t.Errorf("Gated has %d entries, want %d", got, len(bench.AllSmall())+len(ext))
+	}
+	if got := len(bench.All()); got != 8 {
+		t.Errorf("paper set grew to %d — extended workloads must not join All()", got)
+	}
+}
+
+// TestExtendedBenchmarksCompileAndEvaluate runs each extended workload
+// through the full pipeline and engine at the perf-gate configuration.
+func TestExtendedBenchmarksCompileAndEvaluate(t *testing.T) {
+	for _, b := range bench.Extended() {
+		opts := b.Pipeline
+		p, err := core.Build(b.Source, opts)
+		if err != nil {
+			t.Fatalf("%s: build: %v", b.Name, err)
+		}
+		m, err := core.Evaluate(p, core.EvalOptions{Scheduler: core.LPFS, K: 4, Verify: true})
+		if err != nil {
+			t.Fatalf("%s: evaluate: %v", b.Name, err)
+		}
+		if m.TotalGates == 0 || m.Leaves == 0 || m.CommCycles == 0 {
+			t.Errorf("%s: degenerate metrics %+v", b.Name, *m)
+		}
+	}
+}
+
+// TestQFTStageStructure asserts the benchmark's scheduling shape: one
+// stage module per target qubit, each stage's rotations all distinct.
+func TestQFTStageStructure(t *testing.T) {
+	b := bench.QFT(8)
+	for j := 0; j < 8; j++ {
+		if !strings.Contains(b.Source, fmt.Sprintf("module qft_stage%d(", j)) {
+			t.Errorf("missing stage module %d", j)
+		}
+	}
+	if !strings.Contains(b.Source, "Swap(q[0], q[7])") {
+		t.Error("missing bit-reversal swap network")
+	}
+}
+
+// TestQPEAnglesAllDistinct asserts the phase-fold keeps every
+// controlled-power angle distinct (the per-angle blackbox property).
+func TestQPEAnglesAllDistinct(t *testing.T) {
+	b := bench.QPE(6)
+	seen := map[string]bool{}
+	for _, line := range strings.Split(b.Source, "\n") {
+		if !strings.Contains(line, "CRz(c, u, ") {
+			continue
+		}
+		if seen[line] {
+			t.Errorf("duplicate controlled-power angle: %s", line)
+		}
+		seen[line] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("found %d controlled powers, want 6", len(seen))
+	}
+}
+
+// TestQAOACostLayerShape asserts the ring structure: n ZZ terms per
+// cost layer, each angle shared within a layer and distinct across
+// layers.
+func TestQAOACostLayerShape(t *testing.T) {
+	b := bench.QAOA(8, 2)
+	perLayer := map[int]map[string]int{0: {}, 1: {}}
+	for l := 0; l < 2; l++ {
+		start := strings.Index(b.Source, fmt.Sprintf("module qaoa_cost%d(", l))
+		if start < 0 {
+			t.Fatalf("missing cost layer %d", l)
+		}
+		end := strings.Index(b.Source[start:], "}")
+		body := b.Source[start : start+end]
+		for _, line := range strings.Split(body, "\n") {
+			line = strings.TrimSpace(line)
+			if strings.HasPrefix(line, "Rz(") {
+				comma := strings.LastIndex(line, ", ")
+				perLayer[l][line[comma+2:]]++
+			}
+		}
+	}
+	for l, angles := range perLayer {
+		if len(angles) != 1 {
+			t.Errorf("cost layer %d has %d distinct angles, want 1 (SIMD wall)", l, len(angles))
+		}
+		for _, count := range angles {
+			if count != 8 {
+				t.Errorf("cost layer %d has %d ZZ terms, want 8 (ring edges)", l, count)
+			}
+		}
+	}
+	for a := range perLayer[0] {
+		if perLayer[1][a] != 0 {
+			t.Errorf("layers 0 and 1 share angle %s", a)
+		}
+	}
+}

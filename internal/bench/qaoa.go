@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// QAOA generates a depth-p QAOA MaxCut ansatz on an n-vertex ring
+// graph: per layer, a cost module of ZZ interactions (CNOT·Rz·CNOT per
+// edge) and a mixer module of Rx rotations. Within one layer every ZZ
+// edge shares one angle and every mixer rotation shares another, so
+// each layer is two wide SIMD-friendly walls over disjoint qubit pairs
+// — the opposite scheduling regime from QFT/QPE's all-distinct-angle
+// cascades, which is exactly why it rides along: together they bracket
+// the paper's Table 2 spectrum. Layer angles follow the standard linear
+// ramp (γ rising, β falling), so every layer is still a distinct set of
+// rotation blackboxes.
+func QAOA(n, p int) Benchmark {
+	var sb strings.Builder
+
+	for l := 0; l < p; l++ {
+		gamma := math.Pi * (0.35 + 0.3*float64(l)/float64(p))
+		beta := math.Pi * (0.75 - 0.3*float64(l)/float64(p))
+
+		// Cost layer: ring edges (i, i+1 mod n), even-start edges first
+		// then odd-start — for even n the two groups are disjoint
+		// data-parallel waves.
+		fmt.Fprintf(&sb, "module qaoa_cost%d(qbit q[%d]) {\n", l, n)
+		for _, parity := range []int{0, 1} {
+			for i := parity; i < n; i += 2 {
+				j := (i + 1) % n
+				if i == j {
+					continue // n == 1: no edges
+				}
+				fmt.Fprintf(&sb, "  CNOT(q[%d], q[%d]);\n", i, j)
+				fmt.Fprintf(&sb, "  Rz(q[%d], %.15g);\n", j, 2*gamma)
+				fmt.Fprintf(&sb, "  CNOT(q[%d], q[%d]);\n", i, j)
+			}
+		}
+		sb.WriteString("}\n")
+
+		fmt.Fprintf(&sb, "module qaoa_mix%d(qbit q[%d]) {\n", l, n)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "  Rx(q[%d], %.15g);\n", i, 2*beta)
+		}
+		sb.WriteString("}\n")
+
+		fmt.Fprintf(&sb, "module qaoa_layer%d(qbit q[%d]) {\n  qaoa_cost%d(q);\n  qaoa_mix%d(q);\n}\n", l, n, l, l)
+	}
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit q[%d];\n", n)
+	hWall(&sb, "q", n)
+	for l := 0; l < p; l++ {
+		fmt.Fprintf(&sb, "  qaoa_layer%d(q);\n", l)
+	}
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(q[i]);\n  }\n", n)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "QAOA",
+		Params: fmt.Sprintf("n=%d p=%d", n, p),
+		Source: sb.String(),
+	}
+}

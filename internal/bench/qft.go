@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// QFT generates the standalone n-qubit quantum Fourier transform — the
+// rotation-cascade kernel inside Shor's, exposed as its own benchmark.
+// Each target qubit gets a per-stage module (H plus the controlled
+// rotations feeding it, truncated at the approximate-QFT cutoff), so the
+// hierarchical scheduler sees one blackbox per stage; the final module
+// reverses the register with a Swap network. Every stage's rotations
+// carry distinct angles — after decomposition each angle is its own
+// serial blackbox, so the stage cascade is the minimal instance of the
+// paper's Table 2 parallelism-vs-decomposition tension.
+func QFT(n int) Benchmark {
+	var sb strings.Builder
+
+	// One module per target: H then the controlled-rotation cascade
+	// from the lower-indexed qubits (serial within the stage — every
+	// rotation targets q[j]).
+	for j := n - 1; j >= 0; j-- {
+		fmt.Fprintf(&sb, "module qft_stage%d(qbit q[%d]) {\n", j, n)
+		fmt.Fprintf(&sb, "  H(q[%d]);\n", j)
+		for k := j - 1; k >= 0 && j-k <= aqftCutoff; k-- {
+			angle := math.Pi * math.Pow(2, -float64(j-k))
+			fmt.Fprintf(&sb, "  CRz(q[%d], q[%d], %.15g);\n", k, j, angle)
+		}
+		sb.WriteString("}\n")
+	}
+
+	fmt.Fprintf(&sb, "module qft(qbit q[%d]) {\n", n)
+	for j := n - 1; j >= 0; j-- {
+		fmt.Fprintf(&sb, "  qft_stage%d(q);\n", j)
+	}
+	sb.WriteString("}\n")
+
+	// Bit-reversal permutation: disjoint Swaps, fully data-parallel.
+	fmt.Fprintf(&sb, "module qft_reverse(qbit q[%d]) {\n", n)
+	for i := 0; i < n/2; i++ {
+		fmt.Fprintf(&sb, "  Swap(q[%d], q[%d]);\n", i, n-1-i)
+	}
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit q[%d];\n", n)
+	// A nontrivial input state: X on alternating qubits, then the
+	// transform and readout.
+	for i := 0; i < n; i += 2 {
+		fmt.Fprintf(&sb, "  X(q[%d]);\n", i)
+	}
+	sb.WriteString("  qft(q);\n  qft_reverse(q);\n")
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(q[i]);\n  }\n", n)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "QFT",
+		Params: fmt.Sprintf("n=%d", n),
+		Source: sb.String(),
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// QPE generates quantum phase estimation with t counting qubits reading
+// out the eigenphase of a single-qubit phase unitary (φ = (√5−1)/2, the
+// golden-ratio conjugate, whose doubling orbit mod 1 never repeats — so
+// no counting width is exact and every controlled-power angle is
+// distinct). Each controlled-U^(2^j) is its
+// own module with its own rotation angle — t distinct per-angle
+// blackboxes whose controls sit on distinct counting qubits, so the
+// layer is data-parallel across SIMD regions while each blackbox is
+// decomposition-serial inside (the paper's Table 2 regime) — followed
+// by the inverse QFT's serial cascade on the counting register.
+func QPE(t int) Benchmark {
+	var sb strings.Builder
+
+	// Controlled powers of U: angle 2π·φ·2^j folded into [0, 2π). The
+	// fold keeps every angle distinct (φ is irrational, so its doubling
+	// orbit never cycles).
+	phi := (math.Sqrt(5) - 1) / 2
+	for j := 0; j < t; j++ {
+		phase := math.Mod(math.Pow(2, float64(j))*phi, 1.0)
+		angle := 2 * math.Pi * phase
+		fmt.Fprintf(&sb, "module qpe_cu%d(qbit c, qbit u) {\n  CRz(c, u, %.15g);\n}\n", j, angle)
+	}
+
+	// Inverse QFT over the counting register (Shor's iqft shape).
+	fmt.Fprintf(&sb, "module qpe_iqft(qbit c[%d]) {\n", t)
+	for j := 0; j < t; j++ {
+		for k := j - aqftCutoff; k < j; k++ {
+			if k < 0 {
+				continue
+			}
+			angle := -math.Pi * math.Pow(2, -float64(j-k))
+			fmt.Fprintf(&sb, "  CRz(c[%d], c[%d], %.15g);\n", k, j, angle)
+		}
+		fmt.Fprintf(&sb, "  H(c[%d]);\n", j)
+	}
+	sb.WriteString("}\n")
+
+	fmt.Fprintf(&sb, "module main() {\n  qbit c[%d];\n  qbit u;\n", t)
+	sb.WriteString("  X(u);\n") // eigenstate |1> of the phase unitary
+	hWall(&sb, "c", t)
+	for j := 0; j < t; j++ {
+		fmt.Fprintf(&sb, "  qpe_cu%d(c[%d], u);\n", j, j)
+	}
+	sb.WriteString("  qpe_iqft(c);\n")
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i++) {\n    MeasZ(c[i]);\n  }\n", t)
+	sb.WriteString("}\n")
+
+	return Benchmark{
+		Name:   "QPE",
+		Params: fmt.Sprintf("t=%d", t),
+		Source: sb.String(),
+	}
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/scaffold-go/multisimd/internal/qasm"
+)
+
+// CodecSchema versions the on-wire program encoding. Bump it on any
+// incompatible change to the JSON shapes below; ReadJSON rejects
+// schemas it does not understand.
+const CodecSchema = 1
+
+// The wire DTOs. Angles ride as float64 — encoding/json emits the
+// shortest decimal that parses back to the identical bit pattern, so
+// the round trip is exact (NaN/Inf are rejected by the encoder, which
+// is fine: no pass produces them).
+type jsonProgram struct {
+	Schema  int          `json:"schema"`
+	Entry   string       `json:"entry"`
+	Modules []jsonModule `json:"modules"`
+}
+
+type jsonModule struct {
+	Name   string    `json:"name"`
+	Params []jsonReg `json:"params,omitempty"`
+	Locals []jsonReg `json:"locals,omitempty"`
+	Ops    []jsonOp  `json:"ops"`
+}
+
+type jsonReg struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+}
+
+type jsonOp struct {
+	Gate     string   `json:"gate,omitempty"` // opcode name; empty means a call
+	Angle    float64  `json:"angle,omitempty"`
+	Args     []int    `json:"args,omitempty"`
+	Callee   string   `json:"callee,omitempty"`
+	CallArgs [][2]int `json:"call_args,omitempty"` // [start, len] pairs
+	Count    int64    `json:"count,omitempty"`     // omitted when 1
+}
+
+// WriteJSON serializes the program as versioned JSON. The encoding is
+// lossless up to Fingerprint: ReadJSON(WriteJSON(p)) reproduces the
+// identical program fingerprint (register names and definition order
+// included, although only the latter is fingerprinted).
+func WriteJSON(w io.Writer, p *Program) error {
+	jp := jsonProgram{Schema: CodecSchema, Entry: p.Entry}
+	for _, name := range p.Order {
+		m := p.Modules[name]
+		if m == nil {
+			return fmt.Errorf("ir: program order names missing module %q", name)
+		}
+		jm := jsonModule{Name: m.Name, Params: regsToJSON(m.Params), Locals: regsToJSON(m.Locals), Ops: make([]jsonOp, len(m.Ops))}
+		for i := range m.Ops {
+			op := &m.Ops[i]
+			jo := jsonOp{Args: op.Args, Callee: op.Callee}
+			if op.Count > 1 {
+				jo.Count = op.Count
+			}
+			switch op.Kind {
+			case GateOp:
+				jo.Gate = op.Gate.String()
+				if op.Gate.IsRotation() {
+					if math.IsNaN(op.Angle) || math.IsInf(op.Angle, 0) {
+						return fmt.Errorf("ir: module %s op %d: unencodable angle %v", m.Name, i, op.Angle)
+					}
+					jo.Angle = op.Angle
+				}
+			case CallOp:
+				for _, rr := range op.CallArgs {
+					jo.CallArgs = append(jo.CallArgs, [2]int{rr.Start, rr.Len})
+				}
+			default:
+				return fmt.Errorf("ir: module %s op %d: unknown kind %d", m.Name, i, op.Kind)
+			}
+			jm.Ops[i] = jo
+		}
+		jp.Modules = append(jp.Modules, jm)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jp)
+}
+
+// ReadJSON decodes a program written by WriteJSON, rebuilding slot
+// layouts and validating the result (gate arity, no-cloning, call
+// shapes, acyclicity) before returning it.
+func ReadJSON(r io.Reader) (*Program, error) {
+	var jp jsonProgram
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("ir: decode program: %w", err)
+	}
+	if jp.Schema != CodecSchema {
+		return nil, fmt.Errorf("ir: program schema %d, this build reads %d", jp.Schema, CodecSchema)
+	}
+	if jp.Entry == "" {
+		return nil, fmt.Errorf("ir: program has no entry")
+	}
+	p := NewProgram(jp.Entry)
+	for _, jm := range jp.Modules {
+		if jm.Name == "" {
+			return nil, fmt.Errorf("ir: unnamed module in program")
+		}
+		if p.Modules[jm.Name] != nil {
+			return nil, fmt.Errorf("ir: duplicate module %q", jm.Name)
+		}
+		m := NewModule(jm.Name, regsFromJSON(jm.Params), regsFromJSON(jm.Locals))
+		m.Ops = make([]Op, len(jm.Ops))
+		for i, jo := range jm.Ops {
+			op := Op{Args: jo.Args, Count: jo.Count}
+			if op.Count <= 0 {
+				op.Count = 1
+			}
+			switch {
+			case jo.Gate != "" && jo.Callee != "":
+				return nil, fmt.Errorf("ir: module %s op %d: both gate and callee set", jm.Name, i)
+			case jo.Gate != "":
+				gate, ok := qasm.ByName(jo.Gate)
+				if !ok {
+					return nil, fmt.Errorf("ir: module %s op %d: unknown gate %q", jm.Name, i, jo.Gate)
+				}
+				op.Kind = GateOp
+				op.Gate = gate
+				op.Angle = jo.Angle
+			case jo.Callee != "":
+				op.Kind = CallOp
+				op.Callee = jo.Callee
+				for _, pair := range jo.CallArgs {
+					op.CallArgs = append(op.CallArgs, Range{Start: pair[0], Len: pair[1]})
+				}
+			default:
+				return nil, fmt.Errorf("ir: module %s op %d: neither gate nor callee", jm.Name, i)
+			}
+			m.Ops[i] = op
+		}
+		p.Add(m)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: decoded program invalid: %w", err)
+	}
+	return p, nil
+}
+
+func regsToJSON(regs []Reg) []jsonReg {
+	out := make([]jsonReg, len(regs))
+	for i, r := range regs {
+		out[i] = jsonReg{Name: r.Name, Size: r.Size}
+	}
+	return out
+}
+
+func regsFromJSON(regs []jsonReg) []Reg {
+	if len(regs) == 0 {
+		return nil
+	}
+	out := make([]Reg, len(regs))
+	for i, r := range regs {
+		out[i] = Reg{Name: r.Name, Size: r.Size}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package ir_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/qasm"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+func TestProgramJSONRoundTrip(t *testing.T) {
+	profiles := []verify.ProgramGenOptions{
+		{},
+		{Depth: 3, Loops: true},
+		{Wide: true, Measure: true, Loops: true},
+	}
+	for pi, opts := range profiles {
+		for seed := int64(1); seed <= 10; seed++ {
+			p := verify.RandomProgram(rand.New(rand.NewSource(seed)), opts)
+			var buf bytes.Buffer
+			if err := ir.WriteJSON(&buf, p); err != nil {
+				t.Fatalf("profile %d seed %d: encode: %v", pi, seed, err)
+			}
+			q, err := ir.ReadJSON(&buf)
+			if err != nil {
+				t.Fatalf("profile %d seed %d: decode: %v", pi, seed, err)
+			}
+			if p.Fingerprint() != q.Fingerprint() {
+				t.Fatalf("profile %d seed %d: fingerprint drifted through JSON: %s -> %s",
+					pi, seed, p.Fingerprint(), q.Fingerprint())
+			}
+			if len(q.Order) != len(p.Order) {
+				t.Fatalf("profile %d seed %d: module count %d -> %d", pi, seed, len(p.Order), len(q.Order))
+			}
+			// Register names are not fingerprinted; check them separately
+			// so the encoding is lossless for diagnostics too.
+			for _, name := range p.Order {
+				pm, qm := p.Modules[name], q.Modules[name]
+				if qm == nil {
+					t.Fatalf("profile %d seed %d: module %s lost", pi, seed, name)
+				}
+				for s := 0; s < pm.TotalSlots(); s++ {
+					if pm.SlotName(s) != qm.SlotName(s) {
+						t.Fatalf("profile %d seed %d: %s slot %d renamed %s -> %s",
+							pi, seed, name, s, pm.SlotName(s), qm.SlotName(s))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProgramJSONExactAngles(t *testing.T) {
+	rz, ok := qasm.ByName("Rz")
+	if !ok {
+		t.Fatal("no Rz opcode")
+	}
+	m := ir.NewModule("main", nil, []ir.Reg{{Name: "q", Size: 2}})
+	angles := []float64{0, 1.0 / 3.0, 3.141592653589793, 2.220446049250313e-16, -0.1}
+	for _, a := range angles {
+		m.Rot(rz, a, 0)
+	}
+	p := ir.NewProgram("main")
+	p.Add(m)
+	var buf bytes.Buffer
+	if err := ir.WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ir.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range angles {
+		if got := q.Modules["main"].Ops[i].Angle; got != a {
+			t.Errorf("angle %v decoded as %v", a, got)
+		}
+	}
+}
+
+func TestProgramJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad schema":     `{"schema":99,"entry":"main","modules":[]}`,
+		"no entry":       `{"schema":1,"modules":[]}`,
+		"unknown gate":   `{"schema":1,"entry":"main","modules":[{"name":"main","locals":[{"name":"q","size":2}],"ops":[{"gate":"Bogus","args":[0]}]}]}`,
+		"gate+callee":    `{"schema":1,"entry":"main","modules":[{"name":"main","locals":[{"name":"q","size":2}],"ops":[{"gate":"H","callee":"x","args":[0]}]}]}`,
+		"empty op":       `{"schema":1,"entry":"main","modules":[{"name":"main","locals":[{"name":"q","size":2}],"ops":[{"args":[0]}]}]}`,
+		"cloning":        `{"schema":1,"entry":"main","modules":[{"name":"main","locals":[{"name":"q","size":2}],"ops":[{"gate":"CNOT","args":[0,0]}]}]}`,
+		"missing callee": `{"schema":1,"entry":"main","modules":[{"name":"main","locals":[{"name":"q","size":2}],"ops":[{"callee":"ghost","call_args":[[0,2]]}]}]}`,
+		"duplicate":      `{"schema":1,"entry":"main","modules":[{"name":"main","ops":[]},{"name":"main","ops":[]}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ir.ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/scaffold-go/multisimd/internal/ir"
+)
+
+// CodecSchema versions the on-wire schedule encoding.
+const CodecSchema = 1
+
+// jsonSchedule is the wire form. The module body itself does not ride
+// along — a schedule is meaningless without its module, so the encoding
+// pins the module by name and content fingerprint and ReadJSON refuses
+// to bind to a module that does not hash identically.
+type jsonSchedule struct {
+	Schema      int         `json:"schema"`
+	Module      string      `json:"module"`
+	Fingerprint string      `json:"fingerprint"`
+	K           int         `json:"k"`
+	D           int         `json:"d"`
+	Steps       [][][]int32 `json:"steps"`
+}
+
+// WriteJSON serializes the schedule as versioned JSON.
+func WriteJSON(w io.Writer, s *Schedule) error {
+	if s.M == nil {
+		return fmt.Errorf("schedule: cannot encode schedule without a module")
+	}
+	js := jsonSchedule{
+		Schema:      CodecSchema,
+		Module:      s.M.Name,
+		Fingerprint: s.M.Fingerprint().String(),
+		K:           s.K,
+		D:           s.D,
+		Steps:       make([][][]int32, len(s.Steps)),
+	}
+	for t := range s.Steps {
+		js.Steps[t] = s.Steps[t].Regions
+	}
+	return json.NewEncoder(w).Encode(&js)
+}
+
+// ReadJSON decodes a schedule written by WriteJSON and rebinds it to m,
+// which must carry the identical content fingerprint the schedule was
+// recorded against (op indices are only meaningful relative to that
+// exact body). The round trip is lossless: the decoded schedule yields
+// the same digest as the original.
+func ReadJSON(r io.Reader, m *ir.Module) (*Schedule, error) {
+	var js jsonSchedule
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("schedule: decode: %w", err)
+	}
+	if js.Schema != CodecSchema {
+		return nil, fmt.Errorf("schedule: schema %d, this build reads %d", js.Schema, CodecSchema)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("schedule: no module to bind %q to", js.Module)
+	}
+	if fp := m.Fingerprint().String(); fp != js.Fingerprint {
+		return nil, fmt.Errorf("schedule: recorded against %s fingerprint %s, module %s hashes %s",
+			js.Module, js.Fingerprint, m.Name, fp)
+	}
+	s := &Schedule{M: m, K: js.K, D: js.D, Steps: make([]Step, len(js.Steps))}
+	for t := range js.Steps {
+		s.Steps[t] = Step{Regions: js.Steps[t]}
+	}
+	return s, nil
+}

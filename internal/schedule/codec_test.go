@@ -1,0 +1,80 @@
+package schedule_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+	"github.com/scaffold-go/multisimd/internal/verify"
+
+	_ "github.com/scaffold-go/multisimd/internal/lpfs"
+	_ "github.com/scaffold-go/multisimd/internal/rcp"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	// The registry tests in this package register fakes, so iterate the
+	// real built-ins explicitly rather than schedule.Names().
+	for _, name := range []string{"rcp", "lpfs"} {
+		sched := schedule.MustLookup(name)
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 20; trial++ {
+			m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 40, Qubits: 4 + trial%3})
+			g, err := dag.Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := 1 + trial%4
+			s, err := sched.Schedule(m, g, k, 0)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			var buf bytes.Buffer
+			if err := schedule.WriteJSON(&buf, s); err != nil {
+				t.Fatalf("%s trial %d: encode: %v", name, trial, err)
+			}
+			loaded, err := schedule.ReadJSON(bytes.NewReader(buf.Bytes()), m)
+			if err != nil {
+				t.Fatalf("%s trial %d: decode: %v", name, trial, err)
+			}
+			if got, want := verify.ScheduleDigest(loaded), verify.ScheduleDigest(s); got != want {
+				t.Fatalf("%s trial %d: digest drifted through JSON: %x -> %x", name, trial, want, got)
+			}
+			if err := loaded.Validate(g); err != nil {
+				t.Fatalf("%s trial %d: decoded schedule illegal: %v", name, trial, err)
+			}
+		}
+	}
+}
+
+// TestScheduleJSONFingerprintGuard pins the codec's central safety
+// property: a schedule cannot be rebound to a module that does not hash
+// identically to the one it was recorded against.
+func TestScheduleJSONFingerprintGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 20})
+	g, err := dag.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.MustLookup("lpfs").Schedule(m, g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := schedule.WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	other := verify.RandomLeaf(rng, verify.GenOptions{Ops: 20})
+	if _, err := schedule.ReadJSON(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("rebound schedule to a different module without error")
+	}
+	if _, err := schedule.ReadJSON(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Fatal("bound schedule to nil module without error")
+	}
+	if _, err := schedule.ReadJSON(strings.NewReader(`{"schema":99}`), m); err == nil {
+		t.Fatal("accepted unknown schema")
+	}
+}

@@ -361,7 +361,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	var benches []string
-	for _, b := range bench.All() {
+	for _, b := range bench.Gated() {
 		benches = append(benches, b.Name)
 	}
 	writeJSON(w, http.StatusOK, VersionResponse{

@@ -1,0 +1,452 @@
+// Package soak is the long-running determinism and legality harness:
+// it sweeps seeded random hierarchical programs (verify.RandomProgram)
+// through the language front end, every registered scheduler, the
+// legality oracle, the serialization codecs and the full evaluation
+// engine, asserting on every instance that
+//
+//   - Scaffold rendering round-trips: parse + sema + lower of the
+//     generated source reproduces the exact program fingerprint;
+//   - IR and schedule JSON export/import are lossless (fingerprint- and
+//     digest-identical);
+//   - scheduling is deterministic: repeated runs yield bit-identical
+//     schedules (verify.ScheduleDigest);
+//   - every schedule passes the independent Multi-SIMD legality oracle
+//     with move-list consistency (verify.Full);
+//   - engine metrics are bit-identical across worker counts and across
+//     cache cold/warm runs, with the in-engine oracle (Verify) on.
+//
+// Failures carry the derived seed and a qsoak command line that replays
+// exactly the failing instance, so a multi-hour sweep never has to be
+// rerun to debug one program.
+package soak
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/comm"
+	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/dag"
+	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/schedule"
+	"github.com/scaffold-go/multisimd/internal/verify"
+
+	// The harness sweeps every registered scheduler.
+	_ "github.com/scaffold-go/multisimd/internal/lpfs"
+	_ "github.com/scaffold-go/multisimd/internal/rcp"
+)
+
+// Options configures a sweep. The zero value is the full acceptance
+// profile: 200 programs × 3 seeds × all registered schedulers.
+type Options struct {
+	// Programs is the number of program indices to sweep (default 200).
+	Programs int
+	// Seeds is the number of seed lanes per program index (default 3).
+	Seeds int
+	// Base offsets the derived seed space (default 1). Instance
+	// (program i, lane j) generates from seed Base + i*1000003 + j, so
+	// any instance replays in isolation.
+	Base int64
+	// StartProgram / StartSeed shift the sweep window without changing
+	// per-instance seeds — the replay knobs qsoak repro lines use.
+	StartProgram int
+	StartSeed    int
+
+	// Gen shapes the generated programs.
+	Gen verify.ProgramGenOptions
+
+	// Schedulers lists registry names to sweep; empty means every
+	// registered scheduler.
+	Schedulers []string
+	// Workers lists the engine worker counts cross-checked for metric
+	// identity; empty means {1, 4}.
+	Workers []int
+
+	// MaxFailures bounds recorded failures (default 25); the sweep
+	// stops early once reached.
+	MaxFailures int
+
+	// Progress, when non-nil, receives a line after every programs
+	// index completes.
+	Progress func(done, total int, failures int)
+}
+
+func (o Options) programs() int {
+	if o.Programs <= 0 {
+		return 200
+	}
+	return o.Programs
+}
+
+func (o Options) seeds() int {
+	if o.Seeds <= 0 {
+		return 3
+	}
+	return o.Seeds
+}
+
+func (o Options) base() int64 {
+	if o.Base == 0 {
+		return 1
+	}
+	return o.Base
+}
+
+func (o Options) maxFailures() int {
+	if o.MaxFailures <= 0 {
+		return 25
+	}
+	return o.MaxFailures
+}
+
+func (o Options) workers() []int {
+	if len(o.Workers) == 0 {
+		return []int{1, 4}
+	}
+	return o.Workers
+}
+
+func (o Options) schedulers() []string {
+	if len(o.Schedulers) == 0 {
+		return schedule.Names()
+	}
+	return o.Schedulers
+}
+
+// Failure is one broken invariant, with everything needed to replay it.
+type Failure struct {
+	Program   int    `json:"program"`
+	SeedLane  int    `json:"seed_lane"`
+	Seed      int64  `json:"seed"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Stage     string `json:"stage"`
+	Detail    string `json:"detail"`
+	Repro     string `json:"repro"`
+}
+
+// Result summarizes a sweep.
+type Result struct {
+	// Instances is the number of generated (program, seed) instances.
+	Instances int `json:"instances"`
+	// RoundTrips counts successful source + IR round-trip checks.
+	RoundTrips int `json:"round_trips"`
+	// Schedules counts leaf schedules built and oracle-verified.
+	Schedules int64 `json:"schedules"`
+	// Evaluations counts full engine runs.
+	Evaluations int64 `json:"evaluations"`
+	// Digest folds every leaf schedule digest in sweep order — two runs
+	// of the same sweep must produce the identical value.
+	Digest uint64 `json:"digest"`
+	// TruncatedFailures counts failures beyond MaxFailures that were
+	// not recorded.
+	TruncatedFailures int       `json:"truncated_failures,omitempty"`
+	Failures          []Failure `json:"failures,omitempty"`
+}
+
+// Failed reports whether the sweep broke any invariant.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 || r.TruncatedFailures > 0 }
+
+// SeedFor returns the generation seed of instance (program, lane) under
+// base — the derivation both Run and the repro lines rely on.
+func SeedFor(base int64, program, lane int) int64 {
+	return base + int64(program)*1000003 + int64(lane)
+}
+
+// instanceConfig rotates the machine and movement model across
+// instances, mirroring the differential harness's rotation. Wide gate
+// mixes skip d = 2 (three-qubit gates cannot fit).
+func instanceConfig(n int, wide bool) (k, d int, copts comm.Options) {
+	k = []int{1, 2, 3, 4, 8}[n%5]
+	d = []int{0, 0, 2, 4}[n%4]
+	if wide && d == 2 {
+		d = 3
+	}
+	switch n % 3 {
+	case 1:
+		copts.LocalCapacity = 1 + n%4
+	case 2:
+		copts.LocalCapacity = -1
+	}
+	if n%7 == 3 {
+		copts.NoOverlap = true
+	}
+	if n%11 == 5 {
+		copts.EPRBandwidth = 1 + n%3
+	}
+	return k, d, copts
+}
+
+// Run executes the sweep.
+func Run(opts Options) (*Result, error) {
+	scheds := make([]schedule.Scheduler, 0, len(opts.schedulers()))
+	for _, name := range opts.schedulers() {
+		s, err := core.SchedulerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		scheds = append(scheds, s)
+	}
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("soak: no schedulers to sweep")
+	}
+	res := &Result{}
+	digest := fnv.New64a()
+	nPrograms, nSeeds := opts.programs(), opts.seeds()
+
+	fail := func(pi, si int, sched, stage, detail string) {
+		if len(res.Failures) >= opts.maxFailures() {
+			res.TruncatedFailures++
+			return
+		}
+		res.Failures = append(res.Failures, Failure{
+			Program:   pi,
+			SeedLane:  si,
+			Seed:      SeedFor(opts.base(), pi, si),
+			Scheduler: sched,
+			Stage:     stage,
+			Detail:    detail,
+			Repro:     opts.Repro(pi, si),
+		})
+	}
+
+	for i := 0; i < nPrograms; i++ {
+		pi := opts.StartProgram + i
+		for j := 0; j < nSeeds; j++ {
+			si := opts.StartSeed + j
+			if len(res.Failures) >= opts.maxFailures() {
+				res.TruncatedFailures++
+				continue
+			}
+			res.Instances++
+			seed := SeedFor(opts.base(), pi, si)
+			rng := rand.New(rand.NewSource(seed))
+			p := verify.RandomProgram(rng, opts.Gen)
+			if err := p.Validate(); err != nil {
+				fail(pi, si, "", "generate", err.Error())
+				continue
+			}
+			k, d, copts := instanceConfig(pi*31+si, opts.Gen.Wide)
+
+			if ok := checkRoundTrips(p, func(stage, detail string) { fail(pi, si, "", stage, detail) }); ok {
+				res.RoundTrips++
+			}
+
+			leaves, err := materializedLeaves(p)
+			if err != nil {
+				fail(pi, si, "", "materialize", err.Error())
+				continue
+			}
+			for _, sched := range scheds {
+				n, err := checkSchedules(leaves, sched, k, d, copts, digest)
+				res.Schedules += n
+				if err != nil {
+					fail(pi, si, sched.Name(), "schedule", err.Error())
+					continue
+				}
+				n2, err := checkEngine(p, sched, k, d, copts, opts.workers())
+				res.Evaluations += n2
+				if err != nil {
+					fail(pi, si, sched.Name(), "engine", err.Error())
+				}
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(i+1, nPrograms, len(res.Failures)+res.TruncatedFailures)
+		}
+	}
+	res.Digest = digest.Sum64()
+	return res, nil
+}
+
+// Repro renders the qsoak command line that replays exactly instance
+// (program pi, lane si) of this sweep.
+func (o Options) Repro(pi, si int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "go run ./cmd/qsoak -base %d -start-program %d -programs 1 -start-seed %d -seeds 1", o.base(), pi, si)
+	g := o.Gen
+	if g.Depth > 0 {
+		fmt.Fprintf(&b, " -depth %d", g.Depth)
+	}
+	if g.ModulesPerLevel > 0 {
+		fmt.Fprintf(&b, " -modules %d", g.ModulesPerLevel)
+	}
+	if g.Fanout > 0 {
+		fmt.Fprintf(&b, " -fanout %d", g.Fanout)
+	}
+	if g.LeafOps > 0 {
+		fmt.Fprintf(&b, " -leaf-ops %d", g.LeafOps)
+	}
+	if g.BodyGates > 0 {
+		fmt.Fprintf(&b, " -body-gates %d", g.BodyGates)
+	}
+	if g.MaxRegSize > 0 {
+		fmt.Fprintf(&b, " -max-reg %d", g.MaxRegSize)
+	}
+	fmt.Fprintf(&b, " -loops=%v -wide=%v -measure=%v", g.Loops, g.Wide, g.Measure)
+	if len(o.Schedulers) > 0 {
+		fmt.Fprintf(&b, " -sched %s", strings.Join(o.Schedulers, ","))
+	}
+	if len(o.Workers) > 0 {
+		ws := make([]string, len(o.Workers))
+		for i, w := range o.Workers {
+			ws[i] = fmt.Sprint(w)
+		}
+		fmt.Fprintf(&b, " -workers %s", strings.Join(ws, ","))
+	}
+	return b.String()
+}
+
+// checkRoundTrips asserts the two lossless-serialization invariants:
+// Scaffold source through the front end, and IR JSON through the codec.
+func checkRoundTrips(p *ir.Program, fail func(stage, detail string)) bool {
+	ok := true
+	src, err := verify.ProgramScaffold(p)
+	if err != nil {
+		fail("render", err.Error())
+		ok = false
+	} else {
+		q, err := core.Frontend(src, core.PipelineOptions{})
+		if err != nil {
+			fail("frontend", err.Error())
+			ok = false
+		} else if p.Fingerprint() != q.Fingerprint() {
+			fail("source-roundtrip", fmt.Sprintf("fingerprint drifted %s -> %s", p.Fingerprint(), q.Fingerprint()))
+			ok = false
+		}
+	}
+	var buf bytes.Buffer
+	if err := ir.WriteJSON(&buf, p); err != nil {
+		fail("ir-export", err.Error())
+		return false
+	}
+	q, err := ir.ReadJSON(&buf)
+	if err != nil {
+		fail("ir-import", err.Error())
+		return false
+	}
+	if p.Fingerprint() != q.Fingerprint() {
+		fail("ir-roundtrip", fmt.Sprintf("fingerprint drifted %s -> %s", p.Fingerprint(), q.Fingerprint()))
+		return false
+	}
+	return ok
+}
+
+// materializedLeaves expands every reachable leaf for direct
+// fine-grained scheduling.
+func materializedLeaves(p *ir.Program) ([]*ir.Module, error) {
+	order, err := p.Topo()
+	if err != nil {
+		return nil, err
+	}
+	var leaves []*ir.Module
+	for _, name := range order {
+		m := p.Modules[name]
+		if !m.IsLeaf() {
+			continue
+		}
+		mat, err := m.Materialize(4 << 20)
+		if err != nil {
+			return nil, fmt.Errorf("leaf %s: %w", name, err)
+		}
+		leaves = append(leaves, mat)
+	}
+	return leaves, nil
+}
+
+// checkSchedules schedules every leaf twice with one scheduler,
+// asserting digest-identical repeats, oracle legality with move-list
+// consistency, and a lossless schedule JSON round trip. Each verified
+// digest folds into the sweep digest.
+func checkSchedules(leaves []*ir.Module, sched schedule.Scheduler, k, d int, copts comm.Options, sweep io.Writer) (int64, error) {
+	var n int64
+	for _, m := range leaves {
+		g, err := dag.Build(m)
+		if err != nil {
+			return n, fmt.Errorf("leaf %s: dag: %w", m.Name, err)
+		}
+		s, err := sched.Schedule(m, g, k, d)
+		if err != nil {
+			return n, fmt.Errorf("leaf %s k=%d d=%d: %w", m.Name, k, d, err)
+		}
+		n++
+		dig := verify.ScheduleDigest(s)
+		again, err := sched.Schedule(m, g, k, d)
+		if err != nil {
+			return n, fmt.Errorf("leaf %s k=%d d=%d rerun: %w", m.Name, k, d, err)
+		}
+		if rd := verify.ScheduleDigest(again); rd != dig {
+			return n, fmt.Errorf("leaf %s k=%d d=%d: nondeterministic schedule: digest %016x then %016x", m.Name, k, d, dig, rd)
+		}
+		res, err := comm.Analyze(s, copts)
+		if err != nil {
+			return n, fmt.Errorf("leaf %s: comm: %w", m.Name, err)
+		}
+		if err := verify.Full(s, g, res, copts); err != nil {
+			return n, fmt.Errorf("leaf %s k=%d d=%d opts=%+v: oracle: %w", m.Name, k, d, copts, err)
+		}
+		var buf bytes.Buffer
+		if err := schedule.WriteJSON(&buf, s); err != nil {
+			return n, fmt.Errorf("leaf %s: schedule export: %w", m.Name, err)
+		}
+		loaded, err := schedule.ReadJSON(&buf, m)
+		if err != nil {
+			return n, fmt.Errorf("leaf %s: schedule import: %w", m.Name, err)
+		}
+		if ld := verify.ScheduleDigest(loaded); ld != dig {
+			return n, fmt.Errorf("leaf %s: schedule JSON round trip drifted: digest %016x -> %016x", m.Name, dig, ld)
+		}
+		var db [8]byte
+		for i := 0; i < 8; i++ {
+			db[i] = byte(dig >> (8 * i))
+		}
+		sweep.Write(db[:])
+	}
+	return n, nil
+}
+
+// checkEngine runs the full evaluation engine over the hierarchical
+// program — cold and warm cache at every requested worker count, with
+// the in-engine legality oracle on — and asserts every run returns
+// bit-identical metrics.
+func checkEngine(p *ir.Program, sched schedule.Scheduler, k, d int, copts comm.Options, workers []int) (int64, error) {
+	var ref *core.Metrics
+	var refDesc string
+	var n int64
+	for _, w := range workers {
+		cache := core.NewEvalCache()
+		for run := 0; run < 2; run++ {
+			m, err := core.Evaluate(p, core.EvalOptions{
+				Scheduler: sched,
+				K:         k,
+				D:         d,
+				Comm:      copts,
+				Verify:    true,
+				Workers:   w,
+				Cache:     cache,
+			})
+			n++
+			state := "cold"
+			if run == 1 {
+				state = "warm"
+			}
+			if err != nil {
+				return n, fmt.Errorf("evaluate workers=%d cache=%s k=%d d=%d: %w", w, state, k, d, err)
+			}
+			if ref == nil {
+				ref = m
+				refDesc = fmt.Sprintf("workers=%d cache=%s", w, state)
+				continue
+			}
+			if !reflect.DeepEqual(ref, m) {
+				return n, fmt.Errorf("metrics diverge: %s gave %+v, workers=%d cache=%s gave %+v",
+					refDesc, *ref, w, state, *m)
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,141 @@
+package soak_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/soak"
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+// envInt reads an integer knob, so CI profiles scale the sweep without
+// code changes (SOAK_PROGRAMS / SOAK_SEEDS).
+func envInt(t *testing.T, name string, def int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		t.Fatalf("%s=%q: want a positive integer", name, v)
+	}
+	return n
+}
+
+// TestSoak is the deterministic short profile: every soak invariant
+// over a sweep small enough for tier-1 runs. CI's soak job raises the
+// knobs (SOAK_PROGRAMS=50 under -race on PRs; hundreds via
+// workflow_dispatch); the full acceptance profile is `go run
+// ./cmd/qsoak` with its 200×3 defaults.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak sweep skipped in -short mode")
+	}
+	opts := soak.Options{
+		Programs: envInt(t, "SOAK_PROGRAMS", 12),
+		Seeds:    envInt(t, "SOAK_SEEDS", 2),
+		Gen:      verify.ProgramGenOptions{Loops: true, Wide: true, Measure: true},
+	}
+	res, err := soak.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("program %d lane %d (seed %d) scheduler %q stage %s: %s\nreplay: %s",
+			f.Program, f.SeedLane, f.Seed, f.Scheduler, f.Stage, f.Detail, f.Repro)
+	}
+	if res.TruncatedFailures > 0 {
+		t.Errorf("%d further failures truncated", res.TruncatedFailures)
+	}
+	if res.Instances != opts.Programs*opts.Seeds {
+		t.Errorf("swept %d instances, want %d", res.Instances, opts.Programs*opts.Seeds)
+	}
+	if res.RoundTrips != res.Instances {
+		t.Errorf("round trips %d of %d instances", res.RoundTrips, res.Instances)
+	}
+	if res.Schedules == 0 || res.Evaluations == 0 {
+		t.Errorf("degenerate sweep: %d schedules, %d evaluations", res.Schedules, res.Evaluations)
+	}
+	t.Logf("soak: %d instances, %d round trips, %d schedules, %d evaluations, digest %016x",
+		res.Instances, res.RoundTrips, res.Schedules, res.Evaluations, res.Digest)
+}
+
+// TestSoakSweepDeterministic runs the same small sweep twice and pins
+// the aggregate digest: the sweep itself — generation, scheduling,
+// digesting — must be a pure function of its options.
+func TestSoakSweepDeterministic(t *testing.T) {
+	opts := soak.Options{Programs: 4, Seeds: 2, Gen: verify.ProgramGenOptions{Loops: true}}
+	a, err := soak.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := soak.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failed() || b.Failed() {
+		t.Fatalf("sweep failed: %+v / %+v", a.Failures, b.Failures)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("sweep digest not reproducible: %016x then %016x", a.Digest, b.Digest)
+	}
+	if a.Schedules != b.Schedules || a.Evaluations != b.Evaluations {
+		t.Fatalf("sweep counters not reproducible: %+v then %+v", a, b)
+	}
+}
+
+// TestSoakWindowedReplayMatches pins the replay contract behind every
+// repro line: sweeping a 1×1 window with -start-program/-start-seed
+// reproduces the same per-instance work (seed derivation included) as
+// the full sweep that contained it.
+func TestSoakWindowedReplayMatches(t *testing.T) {
+	gen := verify.ProgramGenOptions{Loops: true}
+	full, err := soak.Run(soak.Options{Programs: 3, Seeds: 2, Gen: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Failed() {
+		t.Fatalf("full sweep failed: %+v", full.Failures)
+	}
+	if soak.SeedFor(1, 2, 1) != 1+2*1000003+1 {
+		t.Fatalf("seed derivation changed: SeedFor(1,2,1) = %d", soak.SeedFor(1, 2, 1))
+	}
+	// Replaying each window and folding the digests in sweep order must
+	// reproduce the full sweep's digest.
+	var windows []*soak.Result
+	for pi := 0; pi < 3; pi++ {
+		for si := 0; si < 2; si++ {
+			w, err := soak.Run(soak.Options{Programs: 1, Seeds: 1, StartProgram: pi, StartSeed: si, Gen: gen})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Failed() {
+				t.Fatalf("window (%d,%d) failed: %+v", pi, si, w.Failures)
+			}
+			windows = append(windows, w)
+		}
+	}
+	var schedules int64
+	for _, w := range windows {
+		schedules += w.Schedules
+	}
+	if schedules != full.Schedules {
+		t.Fatalf("windowed replay built %d schedules, full sweep %d", schedules, full.Schedules)
+	}
+}
+
+// TestSoakReproLine checks the failure replay command round-trips the
+// sweep's generator and window configuration.
+func TestSoakReproLine(t *testing.T) {
+	opts := soak.Options{
+		Base:       7,
+		Gen:        verify.ProgramGenOptions{Depth: 3, Loops: true, Wide: true},
+		Schedulers: []string{"lpfs"},
+	}
+	got := opts.Repro(12, 2)
+	want := "go run ./cmd/qsoak -base 7 -start-program 12 -programs 1 -start-seed 2 -seeds 1 -depth 3 -loops=true -wide=true -measure=false -sched lpfs"
+	if got != want {
+		t.Fatalf("repro line drifted:\n got %q\nwant %q", got, want)
+	}
+}

@@ -58,11 +58,19 @@ func TestDifferentialSchedulers(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			sched := schedule.MustLookup(name)
-			rng := rand.New(rand.NewSource(20260806))
-			for trial := 0; trial < diffTrials; trial++ {
+			var trial int
+			var seed int64
+			gopts := verify.GenOptions{Ops: 50}
+			disarm := logReplayOnFailure(t, &trial, &seed, &gopts)
+			for trial = 0; trial < diffTrials; trial++ {
 				k, d, copts := diffConfig(trial)
 				nQubits := 4 + trial%3
-				m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 50, Qubits: nQubits})
+				// Per-trial seed: a failure replays from this one seed
+				// without re-running the earlier trials.
+				seed = 20260806 + int64(trial)
+				rng := rand.New(rand.NewSource(seed))
+				gopts.Qubits = nQubits
+				m := verify.RandomLeaf(rng, gopts)
 				g, err := dag.Build(m)
 				if err != nil {
 					t.Fatal(err)
@@ -96,6 +104,7 @@ func TestDifferentialSchedulers(t *testing.T) {
 					t.Fatalf("trial %d k=%d d=%d: schedule changes circuit semantics", trial, k, d)
 				}
 			}
+			disarm()
 		})
 	}
 }
@@ -121,10 +130,15 @@ func runScheduledOrder(st *sim.State, s *schedule.Schedule) error {
 func TestDifferentialWideGates(t *testing.T) {
 	for _, name := range schedule.Names() {
 		sched := schedule.MustLookup(name)
-		rng := rand.New(rand.NewSource(17))
-		for trial := 0; trial < 40; trial++ {
+		var trial int
+		var seed int64
+		gopts := verify.GenOptions{Ops: 40, Qubits: 5, Wide: true}
+		disarm := logReplayOnFailure(t, &trial, &seed, &gopts)
+		for trial = 0; trial < 40; trial++ {
 			k := 1 + trial%4
-			m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 40, Qubits: 5, Wide: true})
+			seed = 17_000 + int64(trial)
+			rng := rand.New(rand.NewSource(seed))
+			m := verify.RandomLeaf(rng, gopts)
 			g, err := dag.Build(m)
 			if err != nil {
 				t.Fatal(err)
@@ -156,15 +170,20 @@ func TestDifferentialWideGates(t *testing.T) {
 				t.Fatalf("%s trial %d k=%d: schedule changes circuit semantics", name, trial, k)
 			}
 		}
+		disarm()
 	}
 }
 
 // TestDifferentialSequentialBaseline pins the trivial baseline: the
 // 1-op-per-step sequential schedule of any random module verifies fully.
 func TestDifferentialSequentialBaseline(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	for trial := 0; trial < 50; trial++ {
-		m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 30, Qubits: 4, Measure: true})
+	var trial int
+	var seed int64
+	gopts := verify.GenOptions{Ops: 30, Qubits: 4, Measure: true}
+	disarm := logReplayOnFailure(t, &trial, &seed, &gopts)
+	for trial = 0; trial < 50; trial++ {
+		seed = 3_000 + int64(trial)
+		m := verify.RandomLeaf(rand.New(rand.NewSource(seed)), gopts)
 		g, err := dag.Build(m)
 		if err != nil {
 			t.Fatal(err)
@@ -178,4 +197,5 @@ func TestDifferentialSequentialBaseline(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 	}
+	disarm()
 }

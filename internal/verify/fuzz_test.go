@@ -31,6 +31,12 @@ func FuzzVerifySchedule(f *testing.F) {
 			Wide:    optRaw&1 != 0,
 			Measure: optRaw&2 != 0,
 		}
+		t.Cleanup(func() {
+			if t.Failed() {
+				t.Logf("failing seed %d; replay: m := verify.RandomLeaf(rand.New(rand.NewSource(%d)), verify.GenOptions{Ops: %d, Qubits: %d, Wide: %t, Measure: %t})",
+					seed, seed, opts.Ops, opts.Qubits, opts.Wide, opts.Measure)
+			}
+		})
 		m := verify.RandomLeaf(rng, opts)
 		g, err := dag.Build(m)
 		if err != nil {
@@ -85,12 +91,19 @@ func FuzzGeneratorQASMRoundTrip(f *testing.F) {
 	f.Add(int64(42), uint8(60), uint8(6), uint8(3))
 	f.Fuzz(func(t *testing.T, seed int64, nOps, nQubits, optRaw uint8) {
 		rng := rand.New(rand.NewSource(seed))
-		m := verify.RandomLeaf(rng, verify.GenOptions{
+		opts := verify.GenOptions{
 			Ops:     int(nOps)%100 + 1,
 			Qubits:  int(nQubits)%8 + 2,
 			Wide:    optRaw&1 != 0,
 			Measure: optRaw&2 != 0,
+		}
+		t.Cleanup(func() {
+			if t.Failed() {
+				t.Logf("failing seed %d; replay: m := verify.RandomLeaf(rand.New(rand.NewSource(%d)), verify.GenOptions{Ops: %d, Qubits: %d, Wide: %t, Measure: %t})",
+					seed, seed, opts.Ops, opts.Qubits, opts.Wide, opts.Measure)
+			}
 		})
+		m := verify.RandomLeaf(rng, opts)
 		src, err := verify.QASM(m)
 		if err != nil {
 			t.Fatal(err)

@@ -12,11 +12,19 @@ import (
 // GenOptions shapes RandomLeaf's output. The zero value produces the
 // generator the scheduling tests historically used: 60 operations over a
 // 5-qubit register drawn from the unitary mix {H, CNOT, T, Rz, CZ}.
+// Every default below is pinned by TestGenOptionsZeroValuePinned, so
+// seeded corpora recorded against one release keep meaning the same
+// circuits in the next.
 type GenOptions struct {
-	// Ops is the number of gate operations (default 60).
+	// Ops is the number of gate operations. Zero and negative values
+	// both mean the default of 60 (a negative count is treated as
+	// unset, not as an error).
 	Ops int
-	// Qubits is the register size (default 5, minimum 2; minimum 3 when
-	// Wide is set).
+	// Qubits is the register size. Zero and negative values mean the
+	// default of 5. Explicit positive values are raised to the minimum
+	// the gate mix needs rather than rejected: at least 2 (CNOT/CZ need
+	// two distinct operands), and at least 3 when Wide is set (the
+	// three-qubit gates need three).
 	Qubits int
 	// Wide adds the three-qubit gates (Toffoli, Fredkin) and Swap to the
 	// mix. Leave unset for machines with d < 3.
@@ -58,7 +66,16 @@ func (o GenOptions) qubits() int {
 func RandomLeaf(rng *rand.Rand, opts GenOptions) *ir.Module {
 	nOps, nQubits := opts.ops(), opts.qubits()
 	m := ir.NewModule("rand", nil, []ir.Reg{{Name: "q", Size: nQubits}})
+	appendRandomOps(rng, m, nOps, nQubits, opts.Wide, opts.Measure)
+	return m
+}
 
+// appendRandomOps appends nOps random gate operations over the first
+// nQubits slots of m. It is the draw loop shared by RandomLeaf and
+// RandomProgram's leaf bodies; its rng consumption is part of the seeded
+// contract — any change invalidates every recorded corpus digest, so the
+// per-case draws below must stay exactly as they are.
+func appendRandomOps(rng *rand.Rand, m *ir.Module, nOps, nQubits int, wide, measure bool) {
 	// distinct returns n distinct qubit indices.
 	distinct := func(n int) []int {
 		picked := make([]int, 0, n)
@@ -79,14 +96,14 @@ func RandomLeaf(rng *rand.Rand, opts GenOptions) *ir.Module {
 		// The base mix keeps the historical five-way draw so existing
 		// seeds stay meaningful; extensions draw extra cases beyond it.
 		ways := 5
-		if opts.Wide {
+		if wide {
 			ways += 3
 		}
-		if opts.Measure {
+		if measure {
 			ways += 2
 		}
 		c := rng.Intn(ways)
-		if c >= 5 && !opts.Wide {
+		if c >= 5 && !wide {
 			c += 3 // skip the wide cases straight to measurement
 		}
 		switch c {
@@ -117,7 +134,6 @@ func RandomLeaf(rng *rand.Rand, opts GenOptions) *ir.Module {
 			m.Gate(qasm.MeasZ, rng.Intn(nQubits))
 		}
 	}
-	return m
 }
 
 // QASM renders a leaf module as a flat QASM-HL stream (declaration block

@@ -17,9 +17,13 @@ func TestWidthAndCapacityBounds(t *testing.T) {
 		sched := schedule.MustLookup(name)
 		for _, k := range []int{1, 2, 4, 8} {
 			for _, d := range []int{0, 2, 4} {
-				rng := rand.New(rand.NewSource(int64(1000*k + d)))
-				for trial := 0; trial < 10; trial++ {
-					m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 45, Qubits: 6})
+				var trial int
+				var seed int64
+				gopts := verify.GenOptions{Ops: 45, Qubits: 6}
+				disarm := logReplayOnFailure(t, &trial, &seed, &gopts)
+				for trial = 0; trial < 10; trial++ {
+					seed = int64(1000*k+d)*100 + int64(trial)
+					m := verify.RandomLeaf(rand.New(rand.NewSource(seed)), gopts)
 					g, err := dag.Build(m)
 					if err != nil {
 						t.Fatal(err)
@@ -50,6 +54,7 @@ func TestWidthAndCapacityBounds(t *testing.T) {
 						t.Fatalf("%s k=%d d=%d trial %d: %v", name, k, d, trial, err)
 					}
 				}
+				disarm()
 			}
 		}
 	}
@@ -61,9 +66,13 @@ func TestWidthAndCapacityBounds(t *testing.T) {
 func TestScheduleNeverBeatsCriticalPath(t *testing.T) {
 	for _, name := range schedule.Names() {
 		sched := schedule.MustLookup(name)
-		rng := rand.New(rand.NewSource(5))
-		for trial := 0; trial < 30; trial++ {
-			m := verify.RandomLeaf(rng, verify.GenOptions{Ops: 50, Qubits: 5})
+		var trial int
+		var seed int64
+		gopts := verify.GenOptions{Ops: 50, Qubits: 5}
+		disarm := logReplayOnFailure(t, &trial, &seed, &gopts)
+		for trial = 0; trial < 30; trial++ {
+			seed = 5_000 + int64(trial)
+			m := verify.RandomLeaf(rand.New(rand.NewSource(seed)), gopts)
 			g, err := dag.Build(m)
 			if err != nil {
 				t.Fatal(err)
@@ -78,5 +87,6 @@ func TestScheduleNeverBeatsCriticalPath(t *testing.T) {
 					name, k, s.Length(), g.CriticalPath(), len(m.Ops))
 			}
 		}
+		disarm()
 	}
 }

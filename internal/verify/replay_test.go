@@ -1,0 +1,28 @@
+package verify_test
+
+import (
+	"testing"
+
+	"github.com/scaffold-go/multisimd/internal/verify"
+)
+
+// logReplayOnFailure arms a trial loop with a failure replay line: if
+// the test fails while the loop is still running, the cleanup logs the
+// trial and seed that were current at the failure plus a ready-to-paste
+// RandomLeaf call reproducing the failing module. Register before the
+// loop, update the pointed-at variables inside it, and call the returned
+// disarm func after the loop so completed loops stay silent when a later
+// loop on the same t fails. Because every trial reseeds its own rng from
+// the derived seed, the snippet reproduces the module without replaying
+// the preceding trials.
+func logReplayOnFailure(t *testing.T, trial *int, seed *int64, opts *verify.GenOptions) (disarm func()) {
+	t.Helper()
+	armed := true
+	t.Cleanup(func() {
+		if t.Failed() && armed {
+			t.Logf("failing trial %d seed %d; replay: m := verify.RandomLeaf(rand.New(rand.NewSource(%d)), verify.GenOptions{Ops: %d, Qubits: %d, Wide: %t, Measure: %t})",
+				*trial, *seed, *seed, opts.Ops, opts.Qubits, opts.Wide, opts.Measure)
+		}
+	})
+	return func() { armed = false }
+}

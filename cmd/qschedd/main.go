@@ -6,18 +6,25 @@
 //
 // Endpoints (see DESIGN.md "Service boundary"):
 //
-//	POST /v1/compile   evaluate a program or benchmark -> metrics
-//	POST /v1/schedule  fine-grained schedule of one leaf module
-//	POST /v1/report    full schedule report (versioned JSON analytics)
-//	POST /v1/verify    evaluation with the legality oracle forced on
-//	GET  /v1/healthz   liveness, queue depth, cache statistics
-//	GET  /v1/version   service/API versions, schedulers, benchmarks
-//	GET  /metrics      Prometheus text metrics (/metrics.json for JSON)
-//	GET  /debug/pprof/ net/http/pprof, on the same port
+//	POST /v1/compile     evaluate a program or benchmark -> metrics
+//	POST /v1/schedule    fine-grained schedule of one leaf module
+//	POST /v1/report      full schedule report (versioned JSON analytics)
+//	POST /v1/verify      evaluation with the legality oracle forced on
+//	GET  /v1/healthz     liveness, queue depth, cache statistics
+//	GET  /v1/version     service/API versions, schedulers, benchmarks
+//	GET  /v1/debug/state live snapshot: flights, queue, cache, runtime
+//	GET  /v1/dashboard   self-contained HTML ops dashboard
+//	GET  /metrics        Prometheus text metrics (/metrics.json for JSON)
+//	GET  /debug/pprof/   net/http/pprof, on the same port
 //
 // Usage:
 //
-//	qschedd -addr :8080 -max-inflight 4 -queue 16
+//	qschedd -addr :8080 -max-inflight 4 -queue 16 -access-log -
+//
+// Every request carries an X-Request-ID (accepted from the caller or
+// generated), echoed in the response header and envelope and stamped on
+// the access-log line, so one id correlates the client's view with
+// everything the server did.
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains
 // in-flight evaluations up to -shutdown-timeout, then aborts the rest.
@@ -28,12 +35,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/server"
 )
 
@@ -45,18 +54,52 @@ func main() {
 		timeout         = flag.Duration("request-timeout", 2*time.Minute, "per-evaluation deadline")
 		workers         = flag.Int("workers", 0, "engine worker-pool size per evaluation (0 = engine default)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight work on SIGINT/SIGTERM")
+		accessLog       = flag.String("access-log", "", "structured JSON access log `sink`: - or stdout, stderr, a file path; empty = off")
+		slowThreshold   = flag.Duration("slow-threshold", time.Second, "requests at or over this wall time log their per-phase breakdown (negative = off)")
+		sampleEvery     = flag.Duration("sample-every", 2*time.Second, "runtime sampler and dashboard history period (negative = off)")
 	)
 	flag.Parse()
 
+	sink, closeSink, err := openAccessLog(*accessLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qschedd:", err)
+		os.Exit(1)
+	}
+	if closeSink != nil {
+		defer closeSink()
+	}
+
 	if err := run(*addr, server.Options{
-		MaxInflight: *maxInflight,
-		MaxQueue:    *queue,
-		Timeout:     *timeout,
-		Workers:     *workers,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *queue,
+		Timeout:       *timeout,
+		Workers:       *workers,
+		AccessLog:     obs.NewAccessLog(sink),
+		SlowThreshold: *slowThreshold,
+		SampleEvery:   *sampleEvery,
 	}, *shutdownTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "qschedd:", err)
 		os.Exit(1)
 	}
+}
+
+// openAccessLog resolves the -access-log flag to a writer: "" disables,
+// "-"/"stdout" and "stderr" are the process streams, anything else is a
+// file opened for append (created if missing).
+func openAccessLog(dest string) (io.Writer, func(), error) {
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "-", "stdout":
+		return os.Stdout, nil, nil
+	case "stderr":
+		return os.Stderr, nil, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	return f, func() { f.Close() }, nil
 }
 
 func run(addr string, opts server.Options, shutdownTimeout time.Duration) error {

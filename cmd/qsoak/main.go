@@ -21,6 +21,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/scaffold-go/multisimd/internal/soak"
 	"github.com/scaffold-go/multisimd/internal/verify"
@@ -44,10 +45,11 @@ func main() {
 		wide      = flag.Bool("wide", true, "include three-qubit gates and Swap in leaf mixes")
 		measure   = flag.Bool("measure", true, "include PrepZ/MeasZ and ancilla envelopes")
 
-		schedulers = flag.String("sched", "", "comma-separated scheduler names (empty = all registered)")
-		workers    = flag.String("workers", "", "comma-separated engine worker counts to cross-check (empty = 1,4)")
-		jsonOut    = flag.String("json", "", "write the sweep result as JSON to this file")
-		quiet      = flag.Bool("q", false, "suppress progress lines")
+		schedulers    = flag.String("sched", "", "comma-separated scheduler names (empty = all registered)")
+		workers       = flag.String("workers", "", "comma-separated engine worker counts to cross-check (empty = 1,4)")
+		jsonOut       = flag.String("json", "", "write the sweep result as JSON to this file")
+		quiet         = flag.Bool("q", false, "suppress progress lines")
+		progressEvery = flag.Duration("progress-every", 10*time.Second, "minimum interval between progress lines (the final line always prints)")
 	)
 	flag.Parse()
 
@@ -83,10 +85,20 @@ func main() {
 		}
 	}
 	if !*quiet {
-		opts.Progress = func(done, total, failures int) {
-			if done%25 == 0 || done == total {
-				fmt.Printf("qsoak: %d/%d programs swept, %d failures\n", done, total, failures)
+		// Print on a wall-clock cadence rather than a fixed index stride:
+		// generated program sizes vary wildly, so "every N programs" is
+		// either spammy on small sweeps or silent for minutes on big ones.
+		start := time.Now()
+		last := start
+		opts.Progress = func(u soak.ProgressUpdate) {
+			now := time.Now()
+			if now.Sub(last) < *progressEvery && u.Done != u.Total {
+				return
 			}
+			last = now
+			fmt.Printf("qsoak: %d/%d programs, %d instances, %d schedules verified, %d engine runs, %d failures, %s elapsed\n",
+				u.Done, u.Total, u.Instances, u.Schedules, u.Evaluations, u.Failures,
+				now.Sub(start).Round(time.Second))
 		}
 	}
 

@@ -216,6 +216,15 @@ func EvaluateContext(ctx context.Context, p *ir.Program, opts EvalOptions) (*Met
 	esp := e.eo.tr.Span("engine", "evaluate")
 	esp.SetInt("k", int64(opts.K))
 	esp.SetStr("scheduler", e.sched.Name())
+	if id := obs.RequestID(ctx); id != "" {
+		// The service threads its request id through the context; stamp
+		// it on the run span and the scheduler's decision log so traces
+		// and decision streams correlate with access-log lines.
+		esp.SetStr("request_id", id)
+		if dl, ok := e.sched.(interface{ DecisionLog() *obs.DecisionLog }); ok {
+			dl.DecisionLog().SetRequest(id)
+		}
+	}
 	m, err := e.evaluate(p, opts)
 	if m != nil {
 		esp.SetInt("comm_cycles", m.CommCycles)

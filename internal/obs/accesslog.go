@@ -1,0 +1,113 @@
+package obs
+
+// Structured access logging: one JSON object per line per request, the
+// service operator's primary "what is this server doing" stream. The
+// schema is part of the operational contract (the server's golden test
+// pins the field set); new fields may be added, existing ones must not
+// be renamed or change type.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// AccessCache is the cache-layer traffic one evaluation generated,
+// mirrored from core.CacheStats without importing it (core depends on
+// obs, not the reverse). A schedule hit with a comm miss is the sweep
+// fast path; all-hits is a fully warm request.
+type AccessCache struct {
+	CommHits    int64 `json:"comm_hits"`
+	CommMisses  int64 `json:"comm_misses"`
+	SchedHits   int64 `json:"sched_hits"`
+	SchedMisses int64 `json:"sched_misses"`
+}
+
+// AccessEntry is one access-log record. Omitempty fields only apply to
+// evaluation endpoints (compile/verify/report) or to specific statuses
+// (QueueDepth on 429s, Phases past the slow threshold).
+type AccessEntry struct {
+	// Time is the request's completion time, RFC 3339 with milliseconds.
+	Time string `json:"ts"`
+	// ID is the request id (accepted X-Request-ID or generated).
+	ID string `json:"id"`
+	// Endpoint is the handler's short name ("compile", "healthz", ...).
+	Endpoint string `json:"endpoint"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Status   int    `json:"status"`
+	// Bytes counts response body bytes written.
+	Bytes int64 `json:"bytes"`
+	// DurMS is the full request wall time, decode to last byte.
+	DurMS float64 `json:"dur_ms"`
+
+	// Role is the dedup attribution of an evaluation: "leader" ran the
+	// engine with at least one follower attached, "solo" ran it alone,
+	// "follower" joined a leader's in-flight evaluation.
+	Role string `json:"role,omitempty"`
+	// LeaderID is the id of the request whose evaluation a follower
+	// inherited (set on followers only).
+	LeaderID string `json:"leader_id,omitempty"`
+	// Fingerprint is the compiled program's content fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Key is the full singleflight/dedup key (fingerprint + config).
+	Key string `json:"key,omitempty"`
+	// QueueWaitMS is time spent waiting for an admission slot.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// EvalMS is the engine evaluation wall time (leader's, inherited by
+	// followers).
+	EvalMS float64 `json:"eval_ms,omitempty"`
+	// Cache is the cache-layer traffic of this request's evaluation.
+	Cache *AccessCache `json:"cache,omitempty"`
+
+	// QueueDepth is the admission queue depth observed when the request
+	// was rejected with 429.
+	QueueDepth int64 `json:"queue_depth,omitempty"`
+
+	// Slow marks requests over the server's slow threshold; Phases then
+	// carries the per-phase span breakdown from the request's Tracer.
+	Slow   bool           `json:"slow,omitempty"`
+	Phases []PhaseSummary `json:"phases,omitempty"`
+
+	// Err is the error message of a failed request (4xx/5xx).
+	Err string `json:"error,omitempty"`
+}
+
+// AccessLog serializes AccessEntry records as JSON lines. A nil
+// *AccessLog is the disabled logger: Log no-ops and Enabled is false,
+// so instrumented paths call straight through without guarding.
+type AccessLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewAccessLog returns a logger writing to w (nil w returns the
+// disabled nil logger).
+func NewAccessLog(w io.Writer) *AccessLog {
+	if w == nil {
+		return nil
+	}
+	return &AccessLog{w: w}
+}
+
+// Enabled reports whether records are being written. Call sites that
+// must gather data to build an entry check this first.
+func (l *AccessLog) Enabled() bool { return l != nil }
+
+// Log writes one record as a single JSON line. Marshal happens outside
+// the lock; the write is a single call so concurrent records never
+// interleave (line-buffered sinks like files and pipes keep lines
+// whole).
+func (l *AccessLog) Log(e *AccessEntry) {
+	if l == nil {
+		return
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return // an entry that cannot marshal is dropped, never panics
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}

@@ -128,6 +128,9 @@ type Decision struct {
 	Op        int32  `json:"op"` // op index within the module; -1 when not op-specific
 	Reason    Reason `json:"reason"`
 	Detail    string `json:"detail,omitempty"`
+	// Request is the request id of the service request whose evaluation
+	// produced this decision (empty outside the service).
+	Request string `json:"request_id,omitempty"`
 }
 
 // DefaultDecisionLimit caps NewDecisionLog's retention. Shor's-scale
@@ -148,6 +151,7 @@ type DecisionLog struct {
 	mu      sync.Mutex
 	entries []Decision
 	dropped int64
+	request string
 }
 
 // NewDecisionLog returns a log recording entries at or below level,
@@ -179,9 +183,35 @@ func (l *DecisionLog) Record(lv Level, d Decision) {
 	if l.limit > 0 && len(l.entries) >= l.limit {
 		l.dropped++
 	} else {
+		if d.Request == "" {
+			d.Request = l.request
+		}
 		l.entries = append(l.entries, d)
 	}
 	l.mu.Unlock()
+}
+
+// SetRequest stamps every subsequently recorded decision with the
+// request id (the service sets it before handing the log to the
+// engine), so decision streams from concurrent requests stay
+// attributable after they are merged or archived.
+func (l *DecisionLog) SetRequest(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.request = id
+	l.mu.Unlock()
+}
+
+// Request returns the id set by SetRequest ("" when unset).
+func (l *DecisionLog) Request() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.request
 }
 
 // Dropped reports how many records the retention limit discarded.

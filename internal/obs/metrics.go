@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"os"
 	"sort"
@@ -202,11 +203,41 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistSnapshot is a histogram's state in a snapshot.
+// HistSnapshot is a histogram's state in a snapshot. P50/P95/P99 are
+// the quantile bucket bounds derived from the cumulative buckets (see
+// Quantile); they are upper bounds, not interpolated values.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
+	P50     int64        `json:"p50"`
+	P95     int64        `json:"p95"`
+	P99     int64        `json:"p99"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns the upper bound of the first bucket whose cumulative
+// count covers quantile q (0 < q <= 1) — the tightest power-of-two
+// bound b with P(X <= b) >= q. It returns 0 for an empty histogram and
+// -1 when the rank lands in the +Inf bucket. Because it reads only the
+// snapshot's already-consistent cumulative bucket list, it is safe
+// against torn scrapes by construction.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	for _, bk := range h.Buckets {
+		if bk.Count >= rank {
+			return bk.LE
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].LE
 }
 
 // Snapshot is a point-in-time copy of every metric, the expvar-style
@@ -252,6 +283,9 @@ func (r *Registry) Snapshot() Snapshot {
 		// whose +Inf bucket sits below its count — an invalid (decreasing)
 		// Prometheus cumulative series under concurrent scrape.
 		hs.Count = cum
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[name] = hs
 	}
 	return s
@@ -337,6 +371,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 		}
 		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+		// Quantile bounds export as companion gauges (quantile labels on
+		// a TYPE histogram family would be invalid exposition format).
+		for _, qb := range [...]struct {
+			suffix string
+			v      int64
+		}{{"p50", h.P50}, {"p95", h.P95}, {"p99", h.P99}} {
+			fmt.Fprintf(&b, "# TYPE %s_%s gauge\n%s_%s %d\n", pn, qb.suffix, pn, qb.suffix, qb.v)
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// phaseTracer returns a tracer on a fake clock plus a helper recording
+// one span of an exact duration, so phase totals are deterministic.
+func phaseTracer() (*Tracer, func(cat, name string, durMS int64)) {
+	now := time.Unix(0, 0)
+	tr := newTracerClock(func() time.Time { return now })
+	span := func(cat, name string, durMS int64) {
+		s := tr.Span(cat, name)
+		now = now.Add(time.Duration(durMS) * time.Millisecond)
+		s.End()
+	}
+	return tr, span
+}
+
+func TestTracerPhases(t *testing.T) {
+	tr, span := phaseTracer()
+	span("engine", "evaluate", 100)
+	span("leaf", "schedule", 30)
+	span("leaf", "schedule", 20)
+	span("pipeline", "parse", 5)
+	tr.Instant("engine", "marker", 0) // instants are excluded
+
+	got := tr.Phases(0)
+	if len(got) != 3 {
+		t.Fatalf("got %d phases, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "evaluate" || got[0].MS != 100 || got[0].Count != 1 {
+		t.Errorf("top phase = %+v, want evaluate/100ms/1", got[0])
+	}
+	if got[1].Name != "schedule" || got[1].MS != 50 || got[1].Count != 2 {
+		t.Errorf("second phase = %+v, want schedule/50ms/2", got[1])
+	}
+	if got[2].Name != "parse" || got[2].MS != 5 {
+		t.Errorf("third phase = %+v, want parse/5ms", got[2])
+	}
+}
+
+func TestTracerPhasesOverflow(t *testing.T) {
+	tr, span := phaseTracer()
+	span("engine", "evaluate", 100)
+	span("leaf", "a", 10)
+	span("leaf", "b", 8)
+	span("leaf", "c", 6)
+
+	got := tr.Phases(2)
+	if len(got) != 3 {
+		t.Fatalf("got %d rows, want 2 + overflow: %+v", len(got), got)
+	}
+	last := got[2]
+	if last.Name != "(other)" || last.Cat != "leaf" || last.Count != 2 || last.MS != 14 {
+		t.Errorf("overflow row = %+v, want leaf/(other)/2/14ms", last)
+	}
+}
+
+func TestNilTracerPhases(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Phases(5); got != nil {
+		t.Errorf("nil tracer phases = %v, want nil", got)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_ms")
+	// 90 fast observations in the [0,1] bucket, 8 in (7,15], 2 slow in
+	// (511,1023]: p50 must land in the first bucket, p95 in the middle,
+	// p99 in the tail.
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 8; i++ {
+		h.Observe(10)
+	}
+	h.Observe(600)
+	h.Observe(600)
+
+	hs := r.Snapshot().Histograms["latency_ms"]
+	if hs.P50 != 1 {
+		t.Errorf("p50 = %d, want 1", hs.P50)
+	}
+	if hs.P95 != 15 {
+		t.Errorf("p95 = %d, want 15", hs.P95)
+	}
+	if hs.P99 != 1023 {
+		t.Errorf("p99 = %d, want 1023", hs.P99)
+	}
+	if got := hs.Quantile(1.0); got != 1023 {
+		t.Errorf("Quantile(1.0) = %d, want 1023", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+
+	// All observations in the +Inf bucket: the quantile bound is
+	// unknowable, reported as -1.
+	r := NewRegistry()
+	h := r.Histogram("huge")
+	h.Observe(int64(1) << 40)
+	hs := r.Snapshot().Histograms["huge"]
+	if hs.P50 != -1 || hs.P99 != -1 {
+		t.Errorf("+Inf-only quantiles = %d/%d, want -1/-1", hs.P50, hs.P99)
+	}
+
+	// Single observation: every quantile is its bucket bound.
+	r2 := NewRegistry()
+	r2.Histogram("one").Observe(5)
+	one := r2.Snapshot().Histograms["one"]
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 {
+		t.Errorf("single-obs quantiles = %d/%d/%d, want 7/7/7", one.P50, one.P95, one.P99)
+	}
+}
+
+func TestPrometheusQuantileLines(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req.latency_ms")
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req_latency_ms_p50 gauge\n",
+		"req_latency_ms_p50 63\n",
+		"# TYPE req_latency_ms_p95 gauge\n",
+		"req_latency_ms_p95 127\n",
+		"req_latency_ms_p99 127\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+// Request identity: every request entering the service carries an id —
+// accepted from the caller's X-Request-ID header or generated — that is
+// threaded through context.Context into the engine, the singleflight
+// attribution, the access log and the response envelopes, so one id
+// correlates a client's view of a request with everything the server
+// did on its behalf.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// reqIDKey is the context key for the request id. An unexported struct
+// type cannot collide with keys from other packages.
+type reqIDKey struct{}
+
+// WithRequestID returns ctx carrying the request id. An empty id
+// returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID extracts the request id from ctx ("" when none was set).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// NewRequestID generates a fresh 16-hex-character request id from
+// crypto/rand. Ids only need to be unique enough to correlate log lines
+// within a server's lifetime; 64 random bits are plenty.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a constant
+		// id keeps the server serving (correlation degrades, nothing
+		// else does).
+		return "00000000resigned"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxRequestIDLen bounds accepted client-supplied ids so a hostile
+// header cannot bloat every log line and envelope it is echoed into.
+const maxRequestIDLen = 128
+
+// SanitizeRequestID normalizes a client-supplied id for logging and
+// echoing: control characters and spaces are dropped (they would break
+// the one-line-per-record log framing), and the result is truncated to
+// 128 characters. An id that sanitizes to "" is treated as absent.
+func SanitizeRequestID(id string) string {
+	id = strings.Map(func(r rune) rune {
+		if r <= ' ' || r == 0x7f {
+			return -1
+		}
+		return r
+	}, id)
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	return id
+}

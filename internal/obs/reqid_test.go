@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Errorf("empty ctx id = %q, want \"\"", got)
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("id = %q, want abc123", got)
+	}
+	// Empty id leaves the context unchanged.
+	base := context.Background()
+	if WithRequestID(base, "") != base {
+		t.Error("WithRequestID(\"\") returned a new context")
+	}
+	if got := RequestID(nil); got != "" {
+		t.Errorf("nil ctx id = %q, want \"\"", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("id lengths = %d, %d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Errorf("two generated ids collided: %q", a)
+	}
+	for _, r := range a {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			t.Errorf("id %q contains non-hex rune %q", a, r)
+		}
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"demo", "demo"},
+		{"", ""},
+		{"has space\tand\ncontrol\x7f", "hasspaceandcontrol"},
+		{" \n\t", ""},
+		{"Ünïcode-ok_123", "Ünïcode-ok_123"},
+		{strings.Repeat("x", 300), strings.Repeat("x", 128)},
+	}
+	for _, c := range cases {
+		if got := SanitizeRequestID(c.in); got != c.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	if got := r.Gauge(GaugeGoroutines).Value(); got < 1 {
+		t.Errorf("goroutines = %d, want >= 1", got)
+	}
+	if got := r.Gauge(GaugeHeapAlloc).Value(); got <= 0 {
+		t.Errorf("heap_alloc = %d, want > 0", got)
+	}
+	if got := r.Gauge(GaugeHeapSys).Value(); got <= 0 {
+		t.Errorf("heap_sys = %d, want > 0", got)
+	}
+	SampleRuntime(nil) // must not panic
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Hour)
+	// The sampler samples once synchronously before its first tick.
+	if got := r.Gauge(GaugeGoroutines).Value(); got < 1 {
+		t.Errorf("goroutines after start = %d, want >= 1", got)
+	}
+	stop()
+	stop() // idempotent
+}

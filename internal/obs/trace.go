@@ -203,6 +203,83 @@ func (t *Tracer) WriteFile(path string) error {
 	return f.Close()
 }
 
+// PhaseSummary aggregates the completed spans sharing one
+// (category, name) pair: how many ran and their total wall-clock. It is
+// the compact per-phase breakdown a slow-request log line carries —
+// small enough to inline in a log record, detailed enough to say where
+// the time went (parse vs schedule vs comm).
+type PhaseSummary struct {
+	Cat   string  `json:"cat"`
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	MS    float64 `json:"ms"`
+}
+
+// Phases folds the recorded spans into per-(cat, name) totals, ordered
+// by total duration descending. max bounds the rows (0 = unbounded);
+// the overflow is folded into a final "(other)" row per category so the
+// summary always accounts for all recorded time. Instants (zero-length
+// markers) are excluded. Nil tracer returns nil.
+func (t *Tracer) Phases(max int) []PhaseSummary {
+	if t == nil {
+		return nil
+	}
+	type key struct{ cat, name string }
+	t.mu.Lock()
+	agg := make(map[key]*PhaseSummary)
+	var order []key
+	for i := range t.events {
+		ev := &t.events[i]
+		if ev.Ph != "X" {
+			continue
+		}
+		k := key{ev.Cat, ev.Name}
+		p := agg[k]
+		if p == nil {
+			p = &PhaseSummary{Cat: ev.Cat, Name: ev.Name}
+			agg[k] = p
+			order = append(order, k)
+		}
+		p.Count++
+		p.MS += float64(ev.Dur) / 1000
+	}
+	t.mu.Unlock()
+
+	out := make([]PhaseSummary, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MS != out[j].MS {
+			return out[i].MS > out[j].MS
+		}
+		if out[i].Cat != out[j].Cat {
+			return out[i].Cat < out[j].Cat
+		}
+		return out[i].Name < out[j].Name
+	})
+	if max > 0 && len(out) > max {
+		rest := map[string]*PhaseSummary{}
+		var restOrder []string
+		for _, p := range out[max:] {
+			o := rest[p.Cat]
+			if o == nil {
+				o = &PhaseSummary{Cat: p.Cat, Name: "(other)"}
+				rest[p.Cat] = o
+				restOrder = append(restOrder, p.Cat)
+			}
+			o.Count += p.Count
+			o.MS += p.MS
+		}
+		out = out[:max:max]
+		sort.Strings(restOrder)
+		for _, cat := range restOrder {
+			out = append(out, *rest[cat])
+		}
+	}
+	return out
+}
+
 // Len reports the number of recorded events (metadata excluded).
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -27,16 +27,23 @@ const (
 	CodeShuttingDown  = "shutting_down"
 )
 
-// ErrorBody is the structured error payload.
+// ErrorBody is the structured error payload. QueueDepth is set on
+// overloaded (429) responses only: the admission queue depth observed
+// at rejection, so clients and operators see how far behind the server
+// was.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	QueueDepth int64  `json:"queue_depth,omitempty"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
+// RequestID echoes the request's X-Request-ID (accepted or generated),
+// matching the access-log line for the same request.
 type ErrorResponse struct {
-	Schema int       `json:"schema"`
-	Error  ErrorBody `json:"error"`
+	Schema    int       `json:"schema"`
+	RequestID string    `json:"request_id,omitempty"`
+	Error     ErrorBody `json:"error"`
 }
 
 // MetricsBody mirrors core.Metrics for the wire, denormalizing the
@@ -82,23 +89,25 @@ func metricsBody(m *core.Metrics) MetricsBody {
 // applied), and Deduped reports whether this request was served by
 // joining an identical in-flight evaluation.
 type CompileResponse struct {
-	Schema  int            `json:"schema"`
-	Label   string         `json:"label"`
-	Request request.Config `json:"request"`
-	Deduped bool           `json:"deduped"`
-	Metrics MetricsBody    `json:"metrics"`
+	Schema    int            `json:"schema"`
+	RequestID string         `json:"request_id,omitempty"`
+	Label     string         `json:"label"`
+	Request   request.Config `json:"request"`
+	Deduped   bool           `json:"deduped"`
+	Metrics   MetricsBody    `json:"metrics"`
 }
 
 // VerifyResponse answers POST /v1/verify: the same evaluation with the
 // independent legality oracle forced on. Verified is always true on a
 // 2xx — an illegal schedule is an evaluation_failed error.
 type VerifyResponse struct {
-	Schema   int            `json:"schema"`
-	Label    string         `json:"label"`
-	Request  request.Config `json:"request"`
-	Deduped  bool           `json:"deduped"`
-	Verified bool           `json:"verified"`
-	Metrics  MetricsBody    `json:"metrics"`
+	Schema    int            `json:"schema"`
+	RequestID string         `json:"request_id,omitempty"`
+	Label     string         `json:"label"`
+	Request   request.Config `json:"request"`
+	Deduped   bool           `json:"deduped"`
+	Verified  bool           `json:"verified"`
+	Metrics   MetricsBody    `json:"metrics"`
 }
 
 // ScheduleRequest asks for the fine-grained schedule of one leaf
@@ -123,6 +132,7 @@ type EPRBody struct {
 // timestep/region/move-list rendering of the schedule.
 type ScheduleResponse struct {
 	Schema       int     `json:"schema"`
+	RequestID    string  `json:"request_id,omitempty"`
 	Module       string  `json:"module"`
 	Ops          int     `json:"ops"`
 	CriticalPath int     `json:"critical_path"`
@@ -151,4 +161,63 @@ type VersionResponse struct {
 	GoVersion  string   `json:"go"`
 	Schedulers []string `json:"schedulers"`
 	Benchmarks []string `json:"benchmarks"`
+}
+
+// DebugSchemaVersion versions the /v1/debug/state contract
+// independently of the request/response schema: the snapshot evolves
+// with the server's internals, not with the compile API.
+const DebugSchemaVersion = 1
+
+// FlightState is one in-flight deduplicated evaluation.
+type FlightState struct {
+	// Key is the full dedup identity (program fingerprint + config).
+	Key string `json:"key"`
+	// AgeMS is how long the flight has been running.
+	AgeMS float64 `json:"age_ms"`
+	// Waiters counts requests currently attached (leader included).
+	Waiters int `json:"waiters"`
+	// LeaderID is the request id that started the flight.
+	LeaderID string `json:"leader_id,omitempty"`
+}
+
+// RuntimeState is the latest runtime-sampler snapshot (zero when the
+// sampler is disabled).
+type RuntimeState struct {
+	Goroutines     int64 `json:"goroutines"`
+	HeapAllocBytes int64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   int64 `json:"heap_sys_bytes"`
+	GCCount        int64 `json:"gc_count"`
+	GCPauseTotalNS int64 `json:"gc_pause_total_ns"`
+	GCPauseLastNS  int64 `json:"gc_pause_last_ns"`
+}
+
+// SlowRequest is one entry of the recent-slow ring: a request whose
+// wall time met the server's slow threshold.
+type SlowRequest struct {
+	ID       string  `json:"id"`
+	Endpoint string  `json:"endpoint"`
+	Status   int     `json:"status"`
+	DurMS    float64 `json:"dur_ms"`
+	Time     string  `json:"ts"`
+}
+
+// DebugStateResponse answers GET /v1/debug/state: a point-in-time
+// snapshot of what the server is doing right now — the live flight
+// table, admission state, cache totals, runtime health and recent slow
+// requests.
+type DebugStateResponse struct {
+	Schema    int     `json:"schema"`
+	RequestID string  `json:"request_id,omitempty"`
+	Status    string  `json:"status"` // "ok" or "draining"
+	UptimeMS  float64 `json:"uptime_ms"`
+
+	MaxInflight int   `json:"max_inflight"`
+	Inflight    int   `json:"inflight"`
+	QueueDepth  int64 `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+
+	Flights      []FlightState   `json:"flights"`
+	Cache        core.CacheStats `json:"cache"`
+	Runtime      RuntimeState    `json:"runtime"`
+	SlowRequests []SlowRequest   `json:"slow_requests"`
 }

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/scaffold-go/multisimd/internal/bench"
 	"github.com/scaffold-go/multisimd/internal/comm"
@@ -15,6 +17,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/dag"
 	"github.com/scaffold-go/multisimd/internal/epr"
 	"github.com/scaffold-go/multisimd/internal/ir"
+	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/report"
 	"github.com/scaffold-go/multisimd/internal/request"
 	"github.com/scaffold-go/multisimd/internal/schedule"
@@ -29,6 +32,10 @@ const maxBodyBytes = 8 << 20
 // instruments count it as an error distinctly from server faults.
 const statusClientClosedRequest = 499
 
+// maxLogPhases caps the per-phase rows a slow request's access-log
+// entry carries; the tail folds into "(other)" rows per category.
+const maxLogPhases = 12
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -37,10 +44,25 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) {
+// writeError writes the structured error envelope, stamping the request
+// id and recording the failure on the request's info record for the
+// access log. r may be nil in direct handler tests.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	body := ErrorBody{Code: code, Message: msg}
+	var id string
+	if r != nil {
+		id = requestID(r)
+		if info := reqInfoFrom(r.Context()); info != nil {
+			info.errMsg = msg
+			if status == http.StatusTooManyRequests {
+				body.QueueDepth = info.queueDepth
+			}
+		}
+	}
 	writeJSON(w, status, ErrorResponse{
-		Schema: SchemaVersion,
-		Error:  ErrorBody{Code: code, Message: msg},
+		Schema:    SchemaVersion,
+		RequestID: id,
+		Error:     body,
 	})
 }
 
@@ -51,21 +73,34 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
 		return false
 	}
 	return true
 }
 
-// evalResult is what one evaluation flight produces: the metrics and,
-// when profiling was requested, the assembled schedule report.
+// flightStats is the observability payload one evaluation flight
+// produces alongside its result. Followers inherit the leader's stats
+// (the evaluation happened once); the access log distinguishes them by
+// role and leader id.
+type flightStats struct {
+	queueWaitMS float64
+	evalMS      float64
+	cache       obs.AccessCache
+	phases      []obs.PhaseSummary
+}
+
+// evalResult is what one evaluation flight produces: the metrics,
+// the per-flight observability stats and, when profiling was
+// requested, the assembled schedule report.
 type evalResult struct {
-	m   *core.Metrics
-	rep *report.Report
+	m     *core.Metrics
+	rep   *report.Report
+	stats flightStats
 }
 
 // evaluate runs req through the shared flight group: identical
@@ -81,11 +116,13 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 	fn := func(workCtx context.Context) (any, error) {
 		s.wg.Add(1)
 		defer s.wg.Done()
+		admitStart := time.Now()
 		release, err := s.admit(workCtx)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		queueWait := time.Since(admitStart)
 		evalCtx, cancel := context.WithTimeout(workCtx, s.opts.Timeout)
 		defer cancel()
 
@@ -95,29 +132,66 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 		}
 		eopts.Cache = s.cache
 		eopts.Workers = s.opts.Workers
+		// Each flight runs under its own tracer so a slow request can
+		// dump exactly its own phase breakdown; engine counters still
+		// aggregate into the shared registry.
+		tr := obs.NewTracer()
+		eopts.Obs = &obs.Observer{Trace: tr, Metrics: s.reg}
 		var collector *report.Collector
 		if req.Profile {
 			collector = report.NewCollector()
 			eopts.Profile = collector
 		}
+		statsBefore := s.cache.Stats()
+		evalStart := time.Now()
 		m, err := core.EvaluateContext(evalCtx, p, eopts)
 		if err != nil {
 			return nil, err
 		}
-		res := evalResult{m: m}
+		delta := s.cache.Stats().Sub(statsBefore)
+		res := evalResult{m: m, stats: flightStats{
+			queueWaitMS: float64(queueWait.Microseconds()) / 1000,
+			evalMS:      float64(time.Since(evalStart).Microseconds()) / 1000,
+			cache: obs.AccessCache{
+				CommHits: delta.CommHits, CommMisses: delta.CommMisses,
+				SchedHits: delta.SchedHits, SchedMisses: delta.SchedMisses,
+			},
+			phases: tr.Phases(maxLogPhases),
+		}}
 		if collector != nil {
 			res.rep = core.BuildReport(collector, req.Label(), m, eopts)
 		}
 		return res, nil
 	}
-	val, deduped, err := s.flights.do(ctx, s.base, key, fn)
-	if err != nil {
-		return evalResult{}, deduped, err
-	}
+	val, deduped, leaderID, shared, err := s.flights.do(ctx, s.base, key, fn)
 	if deduped {
 		s.dedupCounter.Inc()
 	}
-	return val.(evalResult), deduped, nil
+	if info := reqInfoFrom(ctx); info != nil {
+		info.key = key
+		info.fingerprint = p.Fingerprint().String()
+		switch {
+		case deduped:
+			info.role = "follower"
+			info.leaderID = leaderID
+		case shared:
+			info.role = "leader"
+		default:
+			info.role = "solo"
+		}
+	}
+	if err != nil {
+		return evalResult{}, deduped, err
+	}
+	res := val.(evalResult)
+	if info := reqInfoFrom(ctx); info != nil {
+		info.queueWaitMS = res.stats.queueWaitMS
+		info.evalMS = res.stats.evalMS
+		c := res.stats.cache
+		info.cache = &c
+		info.phases = res.stats.phases
+	}
+	return res, deduped, nil
 }
 
 // programBuilder defers the (comparatively cheap) parse+lower step so
@@ -125,25 +199,30 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 type programBuilder = func() (*ir.Program, error)
 
 // writeEvalError maps an evaluation failure to its transport shape.
-func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, errBusy):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+		if r != nil {
+			if info := reqInfoFrom(r.Context()); info != nil {
+				info.queueDepth = s.queued.Load()
+			}
+		}
+		writeError(w, r, http.StatusTooManyRequests, CodeOverloaded,
 			"evaluation queue full; retry shortly")
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, CodeTimeout,
+		writeError(w, r, http.StatusGatewayTimeout, CodeTimeout,
 			"evaluation exceeded the request deadline")
 	case errors.Is(err, context.Canceled):
 		if s.draining.Load() {
-			writeError(w, http.StatusServiceUnavailable, CodeShuttingDown,
+			writeError(w, r, http.StatusServiceUnavailable, CodeShuttingDown,
 				"server shutting down")
 			return
 		}
-		writeError(w, statusClientClosedRequest, CodeBadRequest,
+		writeError(w, r, statusClientClosedRequest, CodeBadRequest,
 			"client closed request")
 	default:
-		writeError(w, http.StatusUnprocessableEntity, CodeEvalFailed, err.Error())
+		writeError(w, r, http.StatusUnprocessableEntity, CodeEvalFailed, err.Error())
 	}
 }
 
@@ -157,7 +236,7 @@ func (s *Server) parseConfig(w http.ResponseWriter, r *http.Request) (request.Co
 	}
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalid, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeInvalid, err.Error())
 		return req, false
 	}
 	return req, true
@@ -168,33 +247,34 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, deduped, err := s.compile(r.Context(), w, req)
+	res, deduped, err := s.compile(w, r, req)
 	if err != nil {
 		return
 	}
 	writeJSON(w, http.StatusOK, CompileResponse{
-		Schema:  SchemaVersion,
-		Label:   req.Label(),
-		Request: req,
-		Deduped: deduped,
-		Metrics: metricsBody(res.m),
+		Schema:    SchemaVersion,
+		RequestID: requestID(r),
+		Label:     req.Label(),
+		Request:   req,
+		Deduped:   deduped,
+		Metrics:   metricsBody(res.m),
 	})
 }
 
 // compile builds and evaluates req, writing the error response itself
 // on failure (callers just return on err != nil).
-func (s *Server) compile(ctx context.Context, w http.ResponseWriter, req request.Config) (evalResult, bool, error) {
+func (s *Server) compile(w http.ResponseWriter, r *http.Request, req request.Config) (evalResult, bool, error) {
 	built := false
-	res, deduped, err := s.evaluate(ctx, req, func() (*ir.Program, error) {
+	res, deduped, err := s.evaluate(r.Context(), req, func() (*ir.Program, error) {
 		p, berr := req.Build(nil)
 		built = berr == nil
 		return p, berr
 	})
 	if err != nil {
 		if !built {
-			writeError(w, http.StatusBadRequest, CodeCompileFailed, err.Error())
+			writeError(w, r, http.StatusBadRequest, CodeCompileFailed, err.Error())
 		} else {
-			s.writeEvalError(w, err)
+			s.writeEvalError(w, r, err)
 		}
 	}
 	return res, deduped, err
@@ -206,17 +286,18 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Verify = true
-	res, deduped, err := s.compile(r.Context(), w, req)
+	res, deduped, err := s.compile(w, r, req)
 	if err != nil {
 		return
 	}
 	writeJSON(w, http.StatusOK, VerifyResponse{
-		Schema:   SchemaVersion,
-		Label:    req.Label(),
-		Request:  req,
-		Deduped:  deduped,
-		Verified: true,
-		Metrics:  metricsBody(res.m),
+		Schema:    SchemaVersion,
+		RequestID: requestID(r),
+		Label:     req.Label(),
+		Request:   req,
+		Deduped:   deduped,
+		Verified:  true,
+		Metrics:   metricsBody(res.m),
 	})
 }
 
@@ -226,7 +307,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Profile = true
-	res, _, err := s.compile(r.Context(), w, req)
+	res, _, err := s.compile(w, r, req)
 	if err != nil {
 		return
 	}
@@ -241,25 +322,26 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	sreq.Config = sreq.Config.WithDefaults()
 	if err := sreq.Config.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalid, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeInvalid, err.Error())
 		return
 	}
 	if sreq.Module == "" {
-		writeError(w, http.StatusBadRequest, CodeInvalid, "module is required")
+		writeError(w, r, http.StatusBadRequest, CodeInvalid, "module is required")
 		return
 	}
 	release, err := s.admit(r.Context())
 	if err != nil {
-		s.writeEvalError(w, err)
+		s.writeEvalError(w, r, err)
 		return
 	}
 	defer release()
 
 	resp, code, err := s.scheduleModule(sreq)
 	if err != nil {
-		writeError(w, code, codeFor(code), err.Error())
+		writeError(w, r, code, codeFor(code), err.Error())
 		return
 	}
+	resp.RequestID = requestID(r)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -372,4 +454,50 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 		Schedulers: schedule.Names(),
 		Benchmarks: benches,
 	})
+}
+
+// debugState assembles the introspection snapshot (shared by the JSON
+// endpoint and the dashboard).
+func (s *Server) debugState() DebugStateResponse {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	infos := s.flights.snapshot()
+	flights := make([]FlightState, 0, len(infos))
+	for _, fi := range infos {
+		flights = append(flights, FlightState{
+			Key:      fi.key,
+			AgeMS:    float64(fi.age.Microseconds()) / 1000,
+			Waiters:  fi.waiters,
+			LeaderID: fi.leaderID,
+		})
+	}
+	sort.Slice(flights, func(i, j int) bool { return flights[i].AgeMS > flights[j].AgeMS })
+	return DebugStateResponse{
+		Schema:      DebugSchemaVersion,
+		Status:      status,
+		UptimeMS:    float64(time.Since(s.started).Microseconds()) / 1000,
+		MaxInflight: s.opts.MaxInflight,
+		Inflight:    len(s.sem),
+		QueueDepth:  s.queued.Load(),
+		QueueCap:    s.opts.MaxQueue,
+		Flights:     flights,
+		Cache:       s.cache.Stats(),
+		Runtime: RuntimeState{
+			Goroutines:     s.reg.Gauge(obs.GaugeGoroutines).Value(),
+			HeapAllocBytes: s.reg.Gauge(obs.GaugeHeapAlloc).Value(),
+			HeapSysBytes:   s.reg.Gauge(obs.GaugeHeapSys).Value(),
+			GCCount:        s.reg.Gauge(obs.GaugeGCCount).Value(),
+			GCPauseTotalNS: s.reg.Gauge(obs.GaugeGCPauseTotal).Value(),
+			GCPauseLastNS:  s.reg.Gauge(obs.GaugeGCPauseLast).Value(),
+		},
+		SlowRequests: s.slow.list(),
+	}
+}
+
+func (s *Server) handleDebugState(w http.ResponseWriter, r *http.Request) {
+	state := s.debugState()
+	state.RequestID = requestID(r)
+	writeJSON(w, http.StatusOK, state)
 }

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/scaffold-go/multisimd/internal/obs"
+)
+
+// reqInfo accumulates what one request did as it flows through the
+// handlers, so the middleware can emit a single complete access-log
+// entry after the response is written. The middleware creates it and
+// stores it in the request context; handlers fill fields as facts
+// become known. All writes happen on the request's handler goroutine
+// (flight results are copied out after the flight completes), so no
+// lock is needed.
+type reqInfo struct {
+	id       string
+	endpoint string
+
+	// Evaluation attribution, filled by Server.evaluate.
+	role        string // "leader", "follower", "solo"
+	leaderID    string // set on followers only
+	fingerprint string
+	key         string
+	queueWaitMS float64
+	evalMS      float64
+	cache       *obs.AccessCache
+	phases      []obs.PhaseSummary
+
+	// Error context, filled by writeError.
+	queueDepth int64 // admission queue depth at a 429
+	errMsg     string
+}
+
+// reqInfoKey is the context key for the per-request info record.
+type reqInfoKey struct{}
+
+func withReqInfo(ctx context.Context, info *reqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, info)
+}
+
+// reqInfoFrom returns the request's info record, or nil outside the
+// instrumented handler chain (direct handler tests). Callers must
+// nil-check.
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// requestID is a convenience for handlers stamping response envelopes.
+func requestID(r *http.Request) string {
+	return obs.RequestID(r.Context())
+}

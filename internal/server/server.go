@@ -34,6 +34,19 @@ type Options struct {
 	Registry *obs.Registry
 	// Cache is the shared evaluation cache. Default: a fresh cache.
 	Cache *core.EvalCache
+
+	// AccessLog receives one structured JSON line per request (nil =
+	// access logging off). Build with obs.NewAccessLog.
+	AccessLog *obs.AccessLog
+	// SlowThreshold marks requests whose wall time meets or exceeds it
+	// as slow: their access-log entries carry the per-phase span
+	// breakdown and they enter the dashboard's recent-slow ring.
+	// Default: 1 second. Set negative to disable slow tracking.
+	SlowThreshold time.Duration
+	// SampleEvery is the period of the runtime sampler and the
+	// dashboard history ring. Default: 2 seconds. Set negative to
+	// disable sampling (no runtime gauges, empty dashboard sparklines).
+	SampleEvery time.Duration
 }
 
 // errBusy marks an admission rejection (queue full).
@@ -50,6 +63,7 @@ type Server struct {
 	queued  atomic.Int64
 	reg     *obs.Registry
 	mux     *http.ServeMux
+	started time.Time
 
 	// base is the parent of every evaluation context; Close cancels it
 	// so draining work stops even if clients hang around.
@@ -58,10 +72,18 @@ type Server struct {
 	wg       sync.WaitGroup // in-flight evaluation leaders
 	draining atomic.Bool
 
+	accessLog   *obs.AccessLog
+	stopSampler func()
+	history     *history
+	slow        *slowRing
+
 	inflightGauge *obs.Gauge
 	queuedGauge   *obs.Gauge
 	dedupCounter  *obs.Counter
 	rejectCounter *obs.Counter
+	reqsAll       *obs.Counter
+	errsAll       *obs.Counter
+	latAll        *obs.Histogram
 }
 
 // New builds a Server from opts, applying defaults for zero fields.
@@ -84,6 +106,12 @@ func New(opts Options) *Server {
 	if opts.Cache == nil {
 		opts.Cache = core.NewEvalCache()
 	}
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = time.Second
+	}
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = 2 * time.Second
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
@@ -91,15 +119,27 @@ func New(opts Options) *Server {
 		flights: newFlightGroup(),
 		sem:     make(chan struct{}, opts.MaxInflight),
 		reg:     opts.Registry,
+		mux:     nil,
+		started: time.Now(),
 		base:    base,
 		stop:    stop,
+
+		accessLog: opts.AccessLog,
+		history:   newHistory(historySamples),
+		slow:      newSlowRing(slowRingSize),
 
 		inflightGauge: opts.Registry.Gauge("server.inflight"),
 		queuedGauge:   opts.Registry.Gauge("server.queued"),
 		dedupCounter:  opts.Registry.Counter("server.deduped"),
 		rejectCounter: opts.Registry.Counter("server.rejected"),
+		reqsAll:       opts.Registry.Counter("server.requests"),
+		errsAll:       opts.Registry.Counter("server.errors"),
+		latAll:        opts.Registry.Histogram("server.latency_ms"),
 	}
 	s.routes()
+	if opts.SampleEvery > 0 {
+		s.stopSampler = s.startSampler(opts.SampleEvery)
+	}
 	return s
 }
 
@@ -113,6 +153,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	s.mux.HandleFunc("GET /v1/debug/state", s.instrument("debug_state", s.handleDebugState))
+	s.mux.HandleFunc("GET /v1/dashboard", s.instrument("dashboard", s.handleDashboard))
 	obs.RegisterMetrics(s.mux, s.reg)
 	obs.RegisterPprof(s.mux)
 }
@@ -150,8 +192,13 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close cancels the context under every evaluation, aborting whatever
-// Drain did not see finish.
-func (s *Server) Close() { s.stop() }
+// Drain did not see finish, and stops the runtime sampler.
+func (s *Server) Close() {
+	s.stop()
+	if s.stopSampler != nil {
+		s.stopSampler()
+	}
+}
 
 // admit claims an evaluation slot, waiting in the bounded queue when
 // all slots are busy. It returns errBusy when the queue is full and the
@@ -187,11 +234,12 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// statusWriter remembers the response code for the latency/error
-// instruments.
+// statusWriter remembers the response code and counts body bytes for
+// the latency/error instruments and the access log.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -199,8 +247,15 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with its per-endpoint request counter,
-// error counter and latency histogram.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the request-observability middleware:
+// request-id accept/generate, per-endpoint and aggregate instruments,
+// the access-log entry, and slow-request tracking.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.reg.Counter("server." + name + ".requests")
 	errs := s.reg.Counter("server." + name + ".errors")
@@ -208,11 +263,66 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
+		s.reqsAll.Inc()
+
+		id := obs.SanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		info := &reqInfo{id: id, endpoint: name}
+		ctx := obs.WithRequestID(r.Context(), id)
+		r = r.WithContext(withReqInfo(ctx, info))
+
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
+
+		dur := time.Since(start)
 		if sw.code >= 400 {
 			errs.Inc()
+			s.errsAll.Inc()
 		}
-		lat.Observe(time.Since(start).Milliseconds())
+		lat.Observe(dur.Milliseconds())
+		s.latAll.Observe(dur.Milliseconds())
+
+		slow := s.opts.SlowThreshold > 0 && dur >= s.opts.SlowThreshold
+		if slow {
+			s.slow.add(SlowRequest{
+				ID: id, Endpoint: name, Status: sw.code,
+				DurMS: float64(dur.Microseconds()) / 1000,
+				Time:  start.UTC().Format(accessTimeFormat),
+			})
+		}
+		if s.accessLog.Enabled() {
+			e := &obs.AccessEntry{
+				Time:     start.UTC().Format(accessTimeFormat),
+				ID:       id,
+				Endpoint: name,
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Status:   sw.code,
+				Bytes:    sw.bytes,
+				DurMS:    float64(dur.Microseconds()) / 1000,
+
+				Role:        info.role,
+				LeaderID:    info.leaderID,
+				Fingerprint: info.fingerprint,
+				Key:         info.key,
+				QueueWaitMS: info.queueWaitMS,
+				EvalMS:      info.evalMS,
+				Cache:       info.cache,
+				QueueDepth:  info.queueDepth,
+				Slow:        slow,
+				Err:         info.errMsg,
+			}
+			if slow {
+				e.Phases = info.phases
+			}
+			s.accessLog.Log(e)
+		}
 	}
 }
+
+// accessTimeFormat is RFC 3339 with millisecond precision, the access
+// log's and dashboard's timestamp format.
+const accessTimeFormat = "2006-01-02T15:04:05.000Z07:00"

@@ -251,6 +251,20 @@ func TestCompileDedup(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	// While the flight is frozen, /v1/debug/state must show it live:
+	// one flight, every client attached, the leader identified.
+	resp, data := get(t, ts.URL+"/v1/debug/state")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/state status %d", resp.StatusCode)
+	}
+	var st DebugStateResponse
+	decodeInto(t, data, &st)
+	if len(st.Flights) != 1 {
+		t.Fatalf("debug state shows %d flights, want 1: %+v", len(st.Flights), st.Flights)
+	}
+	if f := st.Flights[0]; f.Waiters < 2 || f.Waiters != clients || f.Key == "" || f.LeaderID == "" || f.AgeMS <= 0 {
+		t.Errorf("live flight state %+v, want %d waiters with key, leader id and age", f, clients)
+	}
 	close(g.release)
 
 	var leaders, followers int
@@ -273,9 +287,9 @@ func TestCompileDedup(t *testing.T) {
 	if n := g.calls.Load(); n != 12 {
 		t.Errorf("scheduler ran %d times across %d requests, want 12 (one evaluation)", n, clients)
 	}
-	st := s.Cache().Stats()
-	if st.CommMisses != 12 || st.SchedMisses != 12 || st.CommHits != 0 {
-		t.Errorf("cache traffic shows more than one cold evaluation: %+v", st)
+	cst := s.Cache().Stats()
+	if cst.CommMisses != 12 || cst.SchedMisses != 12 || cst.CommHits != 0 {
+		t.Errorf("cache traffic shows more than one cold evaluation: %+v", cst)
 	}
 }
 

@@ -3,6 +3,9 @@ package server
 import (
 	"context"
 	"sync"
+	"time"
+
+	"github.com/scaffold-go/multisimd/internal/obs"
 )
 
 // flight is one in-progress evaluation shared by every request that
@@ -13,8 +16,14 @@ type flight struct {
 	done    chan struct{} // closed when the work function returns
 	cancel  context.CancelFunc
 	waiters int
-	val     any
-	err     error
+	shared  bool // a second waiter joined at some point
+	start   time.Time
+	// leaderID is the request id of the caller that started the flight;
+	// followers log it so one evaluation's fan-in is reconstructible
+	// from access logs alone.
+	leaderID string
+	val      any
+	err      error
 }
 
 // flightGroup coalesces concurrent requests carrying identical dedup
@@ -33,19 +42,30 @@ func newFlightGroup() *flightGroup {
 }
 
 // do returns fn's result for key, joining an identical in-flight call
-// when one exists. The boolean reports whether this call was
-// deduplicated onto an existing flight. fn runs on a context derived
-// from base (the server's lifetime), not from ctx: one caller leaving
-// must not kill work other callers still wait on.
-func (g *flightGroup) do(ctx, base context.Context, key string, fn func(context.Context) (any, error)) (any, bool, error) {
+// when one exists. joined reports whether this call was deduplicated
+// onto an existing flight; leaderID is the id of the request that
+// started the flight (this caller's own id when it is the leader);
+// shared reports whether the flight served more than one request. fn
+// runs on a context derived from base (the server's lifetime), not from
+// ctx: one caller leaving must not kill work other callers still wait
+// on.
+func (g *flightGroup) do(ctx, base context.Context, key string, fn func(context.Context) (any, error)) (val any, joined bool, leaderID string, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.flights[key]; ok {
 		f.waiters++
+		f.shared = true
 		g.mu.Unlock()
 		return g.wait(ctx, key, f, true)
 	}
 	workCtx, cancel := context.WithCancel(base)
-	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	// The leader's request id rides the work context too, so engine
+	// spans and decision logs attribute to the request that actually
+	// ran the evaluation.
+	workCtx = obs.WithRequestID(workCtx, obs.RequestID(ctx))
+	f := &flight{
+		done: make(chan struct{}), cancel: cancel, waiters: 1,
+		start: time.Now(), leaderID: obs.RequestID(ctx),
+	}
 	g.flights[key] = f
 	g.mu.Unlock()
 
@@ -64,10 +84,13 @@ func (g *flightGroup) do(ctx, base context.Context, key string, fn func(context.
 
 // wait blocks until the flight completes or the caller's context ends,
 // whichever comes first, maintaining the waiter refcount.
-func (g *flightGroup) wait(ctx context.Context, key string, f *flight, joined bool) (any, bool, error) {
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight, joined bool) (any, bool, string, bool, error) {
 	select {
 	case <-f.done:
-		return f.val, joined, f.err
+		g.mu.Lock()
+		shared := f.shared
+		g.mu.Unlock()
+		return f.val, joined, f.leaderID, shared, f.err
 	case <-ctx.Done():
 	}
 	g.mu.Lock()
@@ -78,9 +101,34 @@ func (g *flightGroup) wait(ctx context.Context, key string, f *flight, joined bo
 		// start fresh work rather than joining a cancelled flight.
 		delete(g.flights, key)
 	}
+	shared := f.shared
 	g.mu.Unlock()
 	if abandoned {
 		f.cancel()
 	}
-	return nil, joined, ctx.Err()
+	return nil, joined, f.leaderID, shared, ctx.Err()
+}
+
+// flightInfo is one in-flight evaluation's public state, the
+// /v1/debug/state view of the flight table.
+type flightInfo struct {
+	key      string
+	age      time.Duration
+	waiters  int
+	leaderID string
+}
+
+// snapshot copies the current flight table (unordered).
+func (g *flightGroup) snapshot() []flightInfo {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]flightInfo, 0, len(g.flights))
+	for key, f := range g.flights {
+		out = append(out, flightInfo{
+			key: key, age: now.Sub(f.start),
+			waiters: f.waiters, leaderID: f.leaderID,
+		})
+	}
+	return out
 }

@@ -71,9 +71,26 @@ type Options struct {
 	// stops early once reached.
 	MaxFailures int
 
-	// Progress, when non-nil, receives a line after every programs
-	// index completes.
-	Progress func(done, total int, failures int)
+	// Progress, when non-nil, is called after every program index
+	// completes with a running snapshot of the sweep, so long runs can
+	// report periodically (see cmd/qsoak) without the harness deciding
+	// a cadence.
+	Progress func(ProgressUpdate)
+}
+
+// ProgressUpdate is the running state handed to Options.Progress after
+// each program index: position in the sweep plus the work counters
+// accumulated so far (the same counters the final Result reports).
+type ProgressUpdate struct {
+	// Done / Total are completed and planned program indices.
+	Done, Total int
+	// Instances, Schedules and Evaluations mirror Result's counters at
+	// this point in the sweep.
+	Instances   int
+	Schedules   int64
+	Evaluations int64
+	// Failures counts recorded plus truncated failures so far.
+	Failures int
 }
 
 func (o Options) programs() int {
@@ -256,7 +273,13 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 		if opts.Progress != nil {
-			opts.Progress(i+1, nPrograms, len(res.Failures)+res.TruncatedFailures)
+			opts.Progress(ProgressUpdate{
+				Done: i + 1, Total: nPrograms,
+				Instances:   res.Instances,
+				Schedules:   res.Schedules,
+				Evaluations: res.Evaluations,
+				Failures:    len(res.Failures) + res.TruncatedFailures,
+			})
 		}
 	}
 	res.Digest = digest.Sum64()

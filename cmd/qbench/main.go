@@ -40,6 +40,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/obscli"
 	"github.com/scaffold-go/multisimd/internal/report"
+	"github.com/scaffold-go/multisimd/internal/request"
 	"github.com/scaffold-go/multisimd/internal/resource"
 )
 
@@ -57,6 +58,7 @@ func main() {
 	perfOut := flag.String("perf-out", "", "write per-benchmark BENCH_<name>.json perf records and REPORT_<name>.json schedule reports into this `dir` instead of running an experiment")
 	perfAgainst := flag.String("perf-against", "", "baseline `dir` of committed BENCH_<name>.json records; with -perf-out, fail if any cold or warm wall time regresses more than 25% past the baseline")
 	reportAgainst := flag.String("report-against", "", "baseline `dir` of committed REPORT_<name>.json schedule reports; with -perf-out, attribute any schedule-level delta to modules/regions/steps and fail on a schedule regression")
+	seedCache := flag.String("seed-cache", "", "write a persistent result-store corpus for the gated benchmarks (request defaults: lpfs, k=4, fth=2000) into this `dir` instead of running an experiment; serve it with qschedd -cache-preload")
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -66,6 +68,9 @@ func main() {
 		observer, err = obsFlags.Setup(os.Stderr)
 		if err != nil {
 			return err
+		}
+		if *seedCache != "" {
+			return writeSeedCorpus(*seedCache)
 		}
 		if *perfOut != "" {
 			return writePerfRecords(*perfOut, *perfAgainst, *reportAgainst, *schedName, *fth, *workers)
@@ -485,6 +490,8 @@ type perfRecord struct {
 	K              int             `json:"k"`
 	ColdWallMS     float64         `json:"cold_wall_ms"`
 	WarmWallMS     float64         `json:"warm_wall_ms"`
+	DiskWarmWallMS float64         `json:"disk_warm_wall_ms"`
+	DiskHits       int64           `json:"disk_hits"`
 	CacheHitRate   float64         `json:"cache_hit_rate"`
 	CacheStats     core.CacheStats `json:"cache_stats"`
 	PeakGoroutines int64           `json:"peak_goroutines"`
@@ -536,6 +543,84 @@ func measureScaling(b bench.Benchmark, sched core.Scheduler, fth int64) ([]scali
 		})
 	}
 	return points, nil
+}
+
+// measureDiskWarm prices the warm-restart path: populate a persistent
+// store with one untimed evaluation, close the cache (simulating
+// process exit), reopen the same directory with cold memory, and time
+// an evaluation that must be served entirely from the disk layer. The
+// timed cold/warm pair stays memory-only so committed trajectories are
+// unaffected; this measurement rides alongside it.
+func measureDiskWarm(b bench.Benchmark, sched core.Scheduler, fth int64, workers int) (float64, int64, error) {
+	dir, err := os.MkdirTemp("", "qbench-cas-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	w, err := buildWorkload(b, fth, true, workers)
+	if err != nil {
+		return 0, 0, err
+	}
+	warmCache, err := core.OpenEvalCache(core.CacheConfig{Dir: dir})
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := core.EvalOptions{Scheduler: sched, K: 4, Cache: warmCache, Workers: w.Workers}
+	if _, err := core.Evaluate(w.Prog, opts); err != nil {
+		warmCache.Close()
+		return 0, 0, fmt.Errorf("%s disk populate: %w", b.Name, err)
+	}
+	warmCache.Close()
+
+	coldProc, err := core.OpenEvalCache(core.CacheConfig{Dir: dir})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer coldProc.Close()
+	opts.Cache = coldProc
+	start := time.Now()
+	if _, err := core.Evaluate(w.Prog, opts); err != nil {
+		return 0, 0, fmt.Errorf("%s disk warm: %w", b.Name, err)
+	}
+	wall := float64(time.Since(start).Microseconds()) / 1000
+	return wall, coldProc.Stats().DiskHits, nil
+}
+
+// writeSeedCorpus evaluates every gated benchmark through the daemon's
+// request defaults (lpfs, k=4, d unlimited, fth=2000, default movement
+// accounting) into a persistent result store at dir. Because the cache
+// keys are derived from the same Config path qschedd uses, a daemon
+// started with -cache-preload pointed here serves those requests from
+// the seed store on its very first compile.
+func writeSeedCorpus(dir string) error {
+	cache, err := core.OpenEvalCache(core.CacheConfig{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer cache.Close()
+	for _, b := range bench.Gated() {
+		cfg := request.Config{Bench: b.Name}.WithDefaults()
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		p, err := cfg.Build(nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		eopts, err := cfg.EvalOptions()
+		if err != nil {
+			return err
+		}
+		eopts.Cache = cache
+		if _, err := core.Evaluate(p, eopts); err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		st := cache.Stats()
+		fmt.Printf("%-10s seeded  (%d records, %.1f KiB on disk)\n",
+			b.Name, st.DiskEntries, float64(st.DiskBytes)/1024)
+	}
+	return nil
 }
 
 // regressionLimit flags a fresh cold wall time as a regression when it
@@ -663,11 +748,17 @@ func writePerfRecords(dir, against, reportAgainst, schedName string, fth int64, 
 		if err != nil {
 			return err
 		}
+		diskWarm, diskHits, err := measureDiskWarm(b, sched, fth, workers)
+		if err != nil {
+			return err
+		}
 		rec := perfRecord{
 			Benchmark: b.Name, Params: b.Params,
 			Scheduler: sched.Name(), K: 4,
 			ColdWallMS:     float64(cold.Microseconds()) / 1000,
 			WarmWallMS:     float64(warm.Microseconds()) / 1000,
+			DiskWarmWallMS: diskWarm,
+			DiskHits:       diskHits,
 			CacheHitRate:   warmStats.CommHitRate(),
 			CacheStats:     w.Cache.Stats(),
 			PeakGoroutines: reg.Gauge("engine.workers.peak").Value(),
@@ -688,11 +779,19 @@ func writePerfRecords(dir, against, reportAgainst, schedName string, fth int64, 
 		for _, p := range rec.Scaling {
 			fmt.Fprintf(&scale, "  w=%d %.1fms", p.Workers, p.ColdWallMS)
 		}
-		fmt.Printf("%-10s cold %8.1fms  warm %8.1fms  hit rate %5.1f%%%s  -> %s\n",
-			b.Name, rec.ColdWallMS, rec.WarmWallMS, 100*rec.CacheHitRate, scale.String(), path)
+		fmt.Printf("%-10s cold %8.1fms  warm %8.1fms  disk-warm %8.1fms  hit rate %5.1f%%%s  -> %s\n",
+			b.Name, rec.ColdWallMS, rec.WarmWallMS, rec.DiskWarmWallMS, 100*rec.CacheHitRate, scale.String(), path)
 		if against != "" {
 			if err := checkAgainst(against, rec); err != nil {
 				regressions = append(regressions, err)
+			}
+			// A fresh cold process answering from the disk layer must land
+			// near the in-memory warm path, not near the true cold path —
+			// the same 50ms absolute slack absorbs host jitter.
+			if limit := 2*rec.WarmWallMS + 50; rec.DiskWarmWallMS > limit {
+				regressions = append(regressions, fmt.Errorf(
+					"%s: disk-warm wall time %.1fms exceeds %.1fms (2x warm %.1fms + 50ms slack)",
+					b.Name, rec.DiskWarmWallMS, limit, rec.WarmWallMS))
 			}
 		}
 

@@ -42,6 +42,10 @@ import (
 	"syscall"
 	"time"
 
+	"strconv"
+	"strings"
+
+	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/obs"
 	"github.com/scaffold-go/multisimd/internal/server"
 )
@@ -57,8 +61,36 @@ func main() {
 		accessLog       = flag.String("access-log", "", "structured JSON access log `sink`: - or stdout, stderr, a file path; empty = off")
 		slowThreshold   = flag.Duration("slow-threshold", time.Second, "requests at or over this wall time log their per-phase breakdown (negative = off)")
 		sampleEvery     = flag.Duration("sample-every", 2*time.Second, "runtime sampler and dashboard history period (negative = off)")
+		cacheDir        = flag.String("cache-dir", "", "`directory` for the persistent result store; empty = memory only (cold every restart)")
+		cacheMemBudget  = flag.String("cache-mem-budget", "", "in-memory cache byte budget, e.g. 256MiB or 512k; empty = unbounded")
+		cacheMemEntries = flag.Int("cache-mem-entries", 0, "in-memory cache entry budget (0 = unbounded)")
+		cacheDiskBudget = flag.String("cache-disk-budget", "", "on-disk store byte budget enforced by background compaction; empty = unbounded")
+		cachePreload    = flag.String("cache-preload", "", "read-only seed store `directory` served below -cache-dir (e.g. a committed corpus)")
 	)
 	flag.Parse()
+
+	memBudget, err := parseByteSize(*cacheMemBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qschedd: -cache-mem-budget:", err)
+		os.Exit(1)
+	}
+	diskBudget, err := parseByteSize(*cacheDiskBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qschedd: -cache-disk-budget:", err)
+		os.Exit(1)
+	}
+	cache, err := core.OpenEvalCache(core.CacheConfig{
+		Dir:        *cacheDir,
+		Preload:    *cachePreload,
+		MemEntries: *cacheMemEntries,
+		MemBytes:   memBudget,
+		DiskBytes:  diskBudget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qschedd: cache:", err)
+		os.Exit(1)
+	}
+	defer cache.Close()
 
 	sink, closeSink, err := openAccessLog(*accessLog)
 	if err != nil {
@@ -74,6 +106,7 @@ func main() {
 		MaxQueue:      *queue,
 		Timeout:       *timeout,
 		Workers:       *workers,
+		Cache:         cache,
 		AccessLog:     obs.NewAccessLog(sink),
 		SlowThreshold: *slowThreshold,
 		SampleEvery:   *sampleEvery,
@@ -81,6 +114,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qschedd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseByteSize reads a human byte size: a bare integer is bytes, and
+// the suffixes k/m/g (or KiB/MiB/GiB, case-insensitive) scale by 1024.
+// Empty means no budget (0).
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	lower := strings.ToLower(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		scale  int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.scale
+			lower = strings.TrimSuffix(lower, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(lower), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n * mult, nil
 }
 
 // openAccessLog resolves the -access-log flag to a writer: "" disables,

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1024", 1024, false},
+		{"64k", 64 << 10, false},
+		{"64KiB", 64 << 10, false},
+		{"256MiB", 256 << 20, false},
+		{"256mb", 256 << 20, false},
+		{"2g", 2 << 30, false},
+		{"  512 MiB ", 512 << 20, false},
+		{"-1", 0, true},
+		{"12q", 0, true},
+		{"MiB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseByteSize(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("parseByteSize(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -46,6 +46,7 @@ func main() {
 		measure   = flag.Bool("measure", true, "include PrepZ/MeasZ and ancilla envelopes")
 
 		schedulers    = flag.String("sched", "", "comma-separated scheduler names (empty = all registered)")
+		cacheDir      = flag.String("cache-dir", "", "persistent result-store `directory`: adds a close-and-reopen restart lane to every engine check, asserting disk-served metrics stay bit-identical")
 		workers       = flag.String("workers", "", "comma-separated engine worker counts to cross-check (empty = 1,4)")
 		jsonOut       = flag.String("json", "", "write the sweep result as JSON to this file")
 		quiet         = flag.Bool("q", false, "suppress progress lines")
@@ -71,6 +72,7 @@ func main() {
 			Measure:         *measure,
 		},
 	}
+	opts.CacheDir = *cacheDir
 	if *schedulers != "" {
 		opts.Schedulers = strings.Split(*schedulers, ",")
 	}

@@ -1,0 +1,29 @@
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// NewKey derives a content address from a domain string and a sequence
+// of byte parts. The domain separates record kinds (e.g. comm results
+// vs schedules) so identical inputs in different domains never collide,
+// and each part is length-prefixed so shifting bytes between adjacent
+// parts changes the key. Bump the version suffix in the domain string
+// whenever the payload encoding changes incompatibly — old records then
+// simply stop matching instead of being misdecoded.
+func NewKey(domain string, parts ...[]byte) Key {
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(domain)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(domain))
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

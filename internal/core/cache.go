@@ -1,9 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/scaffold-go/multisimd/internal/cas"
 	"github.com/scaffold-go/multisimd/internal/comm"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/schedule"
@@ -37,10 +42,69 @@ type commEntry struct {
 	locals  int64
 }
 
+// Content-address domains for the persistent layer. The version suffix
+// is part of the key: an incompatible payload-encoding change bumps it
+// and old records simply stop matching.
+const (
+	casDomainComm  = "evalcache/comm/v1"
+	casDomainSched = "evalcache/sched/v1"
+	casDomainCP    = "evalcache/cp/v1"
+)
+
+func (k schedKey) widthDepth() [16]byte {
+	var wd [16]byte
+	binary.LittleEndian.PutUint64(wd[0:8], uint64(k.w))
+	binary.LittleEndian.PutUint64(wd[8:16], uint64(k.d))
+	return wd
+}
+
+func (k schedKey) casKey() cas.Key {
+	wd := k.widthDepth()
+	return cas.NewKey(casDomainSched, k.fp[:], []byte(k.config), wd[:])
+}
+
+func (k commKey) casKey() cas.Key {
+	wd := k.sk.widthDepth()
+	// %+v renders every comm.Options field by name, so a future option
+	// automatically changes the key instead of silently aliasing records
+	// characterized under a different movement model.
+	return cas.NewKey(casDomainComm, k.sk.fp[:], []byte(k.sk.config), wd[:],
+		[]byte(fmt.Sprintf("%+v", k.comm)))
+}
+
+func cpCasKey(fp ir.Fingerprint) cas.Key {
+	return cas.NewKey(casDomainCP, fp[:])
+}
+
+func encodeCommEntry(e commEntry) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint64(b[0:8], uint64(e.zeroLen))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(e.cycles))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(e.globals))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(e.locals))
+	return b
+}
+
+func decodeCommEntry(b []byte) (commEntry, bool) {
+	if len(b) != 32 {
+		return commEntry{}, false
+	}
+	return commEntry{
+		zeroLen: int64(binary.LittleEndian.Uint64(b[0:8])),
+		cycles:  int64(binary.LittleEndian.Uint64(b[8:16])),
+		globals: int64(binary.LittleEndian.Uint64(b[16:24])),
+		locals:  int64(binary.LittleEndian.Uint64(b[24:32])),
+	}, true
+}
+
 // CacheStats counts EvalCache traffic, split by layer. A "schedule" hit
 // with a "comm" miss is the sweep fast path: the zero-communication
 // schedule is reused and only comm.Analyze re-runs under the new
-// movement options.
+// movement options. Disk counters cover the persistent layer: DiskHits
+// are lookups the memory front missed but a disk record served (they
+// are also counted as hits of their logical layer), DiskMisses went all
+// the way through and will recompute. Entry counts and byte sizes are
+// absolute occupancy, not traffic.
 type CacheStats struct {
 	CommHits     int64
 	CommMisses   int64
@@ -48,8 +112,16 @@ type CacheStats struct {
 	SchedMisses  int64
 	CPHits       int64
 	CPMisses     int64
+	DiskHits     int64
+	DiskMisses   int64
+	DiskWrites   int64
+	DiskCorrupt  int64
+	MemEvictions int64
 	SchedEntries int
 	CommEntries  int
+	MemBytes     int64
+	DiskEntries  int
+	DiskBytes    int64
 }
 
 // CommHitRate is the comm-layer hit fraction (0 when the layer is
@@ -63,7 +135,8 @@ func (s CacheStats) CommHitRate() float64 {
 }
 
 // Sub returns the per-layer traffic accumulated since an earlier
-// snapshot (entry counts are carried over as-is — they are absolute).
+// snapshot (entry counts and byte sizes are carried over as-is — they
+// are absolute).
 func (s CacheStats) Sub(earlier CacheStats) CacheStats {
 	return CacheStats{
 		CommHits:     s.CommHits - earlier.CommHits,
@@ -72,112 +145,579 @@ func (s CacheStats) Sub(earlier CacheStats) CacheStats {
 		SchedMisses:  s.SchedMisses - earlier.SchedMisses,
 		CPHits:       s.CPHits - earlier.CPHits,
 		CPMisses:     s.CPMisses - earlier.CPMisses,
+		DiskHits:     s.DiskHits - earlier.DiskHits,
+		DiskMisses:   s.DiskMisses - earlier.DiskMisses,
+		DiskWrites:   s.DiskWrites - earlier.DiskWrites,
+		DiskCorrupt:  s.DiskCorrupt - earlier.DiskCorrupt,
+		MemEvictions: s.MemEvictions - earlier.MemEvictions,
 		SchedEntries: s.SchedEntries,
 		CommEntries:  s.CommEntries,
+		MemBytes:     s.MemBytes,
+		DiskEntries:  s.DiskEntries,
+		DiskBytes:    s.DiskBytes,
 	}
 }
 
-// EvalCache memoizes leaf characterizations across Evaluate calls. It is
-// safe for concurrent use — the evaluation engine's workers read and
+// CacheRecorder is a per-evaluation view of cache traffic. The shared
+// EvalCache serves many concurrent evaluations; its global counters
+// cannot attribute a hit to a request. Every cache lookup therefore
+// also increments the recorder the engine was handed
+// (EvalOptions.CacheStats), giving each run an exact, bleed-free
+// delta — this is what the service's access-log `cache` blocks report.
+// All methods are nil-safe; the zero value is ready to use.
+type CacheRecorder struct {
+	commHits, commMisses   atomic.Int64
+	schedHits, schedMisses atomic.Int64
+	cpHits, cpMisses       atomic.Int64
+	diskHits, diskMisses   atomic.Int64
+}
+
+// recCount resolves one of r's counters by a stable index; nil
+// receivers drop the count. Field addresses are only taken on non-nil
+// receivers.
+func (r *CacheRecorder) recCount(which int) {
+	if r == nil {
+		return
+	}
+	switch which {
+	case recCommHit:
+		r.commHits.Add(1)
+	case recCommMiss:
+		r.commMisses.Add(1)
+	case recSchedHit:
+		r.schedHits.Add(1)
+	case recSchedMiss:
+		r.schedMisses.Add(1)
+	case recCPHit:
+		r.cpHits.Add(1)
+	case recCPMiss:
+		r.cpMisses.Add(1)
+	case recDiskHit:
+		r.diskHits.Add(1)
+	case recDiskMiss:
+		r.diskMisses.Add(1)
+	}
+}
+
+const (
+	recCommHit = iota
+	recCommMiss
+	recSchedHit
+	recSchedMiss
+	recCPHit
+	recCPMiss
+	recDiskHit
+	recDiskMiss
+)
+
+// Stats snapshots the recorder as a CacheStats (traffic fields only;
+// occupancy belongs to the shared cache). Nil receivers return zero.
+func (r *CacheRecorder) Stats() CacheStats {
+	if r == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		CommHits:    r.commHits.Load(),
+		CommMisses:  r.commMisses.Load(),
+		SchedHits:   r.schedHits.Load(),
+		SchedMisses: r.schedMisses.Load(),
+		CPHits:      r.cpHits.Load(),
+		CPMisses:    r.cpMisses.Load(),
+		DiskHits:    r.diskHits.Load(),
+		DiskMisses:  r.diskMisses.Load(),
+	}
+}
+
+// cacheStripes is the lock-striping fan-out. Stripes are selected by
+// the first fingerprint byte (a sha256 byte: uniform), so concurrent
+// lookups of different leaves almost never share a lock.
+const cacheStripes = 64
+
+// lruNode is one memory-resident entry, threaded on its stripe's
+// recency list. A node belongs to exactly one layer: isSched picks
+// which key/value pair is live.
+type lruNode struct {
+	prev, next *lruNode
+	size       int64
+	isSched    bool
+	sk         schedKey
+	ck         commKey
+	sched      *schedule.Schedule
+	comm       commEntry
+}
+
+// cacheStripe is 1/64th of the memory front: its own maps, its own
+// recency list, its own counters — all guarded by one mutex, so a
+// stripe's entry counts and hit/miss counters are always mutually
+// consistent (a Stats fold never observes misses < entries).
+type cacheStripe struct {
+	mu     sync.Mutex
+	scheds map[schedKey]*lruNode
+	comms  map[commKey]*lruNode
+	cps    map[ir.Fingerprint]int64
+	lru    lruNode // sentinel: lru.next is most recent
+	bytes  int64
+
+	commHits, commMisses   int64
+	schedHits, schedMisses int64
+	cpHits, cpMisses       int64
+	diskHits, diskMisses   int64
+	evictions              int64
+}
+
+func (st *cacheStripe) moveFront(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	st.pushFront(n)
+}
+
+func (st *cacheStripe) pushFront(n *lruNode) {
+	n.prev = &st.lru
+	n.next = st.lru.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+// CacheConfig configures a persistent EvalCache (see OpenEvalCache).
+// The zero value is a memory-only, unbounded cache — exactly what
+// NewEvalCache returns.
+type CacheConfig struct {
+	// Dir is the read-write persistent store; "" keeps the cache
+	// memory-only. Safe to share between processes.
+	Dir string
+	// Preload is a read-only seed store (e.g. the committed
+	// bench/baselines/cas corpus) consulted after Dir on memory misses;
+	// never written.
+	Preload string
+	// MemEntries bounds memory-resident sched+comm entries (0 =
+	// unbounded). The bound is enforced per stripe at MemEntries/64.
+	MemEntries int
+	// MemBytes bounds estimated memory-resident bytes the same way.
+	MemBytes int64
+	// DiskBytes bounds the read-write store; background compaction
+	// evicts least-recently-used records past it (0 = unbounded).
+	DiskBytes int64
+	// CompactEvery is the background compaction period (default 1m,
+	// meaningful only with DiskBytes > 0).
+	CompactEvery time.Duration
+}
+
+// EvalCache memoizes leaf characterizations across Evaluate calls. It
+// is safe for concurrent use — the evaluation engine's workers read and
 // write it while fanning out — and transparent: a warm cache returns
 // byte-identical Metrics to a cold run because schedulers are
 // deterministic and entries are keyed by everything they observe
 // (content fingerprint, scheduler configuration, width, data
 // parallelism, comm options).
 //
-// Two layers serve the experiment sweeps:
+// Three layers serve the experiment sweeps:
 //
 //   - the comm layer caches finished characterizations, hit when a
 //     sweep repeats an exact configuration (fig6 and fig7 run the same
 //     evaluations; fig9's k sweep shares all smaller widths);
 //   - the schedule layer caches zero-communication schedules, hit when
 //     only comm options changed (fig8's local-capacity sweep), so only
-//     the cheap comm.Analyze re-runs.
+//     the cheap comm.Analyze re-runs;
+//   - the critical-path layer caches per-fingerprint DAG depths.
 //
-// Hit/miss traffic is counted per layer in atomic counters, read via
-// Stats without perturbing concurrent lookups.
+// The memory front is sharded into 64 lock stripes keyed by fingerprint
+// prefix with an optional LRU budget; behind it sit up to two
+// content-addressed disk stores (internal/cas): a read-write store that
+// persists every result write-through (so restarts start warm and
+// memory eviction never loses work) and an optional read-only seed
+// store preloaded from a committed corpus. Disk records are versioned
+// and checksummed; a torn or corrupt record is a miss, never a crash.
 type EvalCache struct {
-	mu     sync.Mutex
-	scheds map[schedKey]*schedule.Schedule
-	comms  map[commKey]commEntry
-	cps    map[ir.Fingerprint]int64
+	stripes    [cacheStripes]*cacheStripe
+	maxEntries int   // per stripe; 0 = unbounded
+	maxBytes   int64 // per stripe; 0 = unbounded
 
-	commHits, commMisses   atomic.Int64
-	schedHits, schedMisses atomic.Int64
-	cpHits, cpMisses       atomic.Int64
+	disk *cas.Store // read-write; nil when memory-only
+	seed *cas.Store // read-only preload; nil when absent
 }
 
-// NewEvalCache returns an empty cache.
+// NewEvalCache returns an empty, memory-only, unbounded cache.
 func NewEvalCache() *EvalCache {
-	return &EvalCache{
-		scheds: map[schedKey]*schedule.Schedule{},
-		comms:  map[commKey]commEntry{},
-		cps:    map[ir.Fingerprint]int64{},
+	c, _ := OpenEvalCache(CacheConfig{})
+	return c
+}
+
+// OpenEvalCache builds a cache per cfg, opening (and creating) the
+// persistent stores when configured. Close the cache when done to stop
+// background compaction.
+func OpenEvalCache(cfg CacheConfig) (*EvalCache, error) {
+	c := &EvalCache{}
+	for i := range c.stripes {
+		st := &cacheStripe{
+			scheds: map[schedKey]*lruNode{},
+			comms:  map[commKey]*lruNode{},
+			cps:    map[ir.Fingerprint]int64{},
+		}
+		st.lru.next, st.lru.prev = &st.lru, &st.lru
+		c.stripes[i] = st
+	}
+	if cfg.MemEntries > 0 {
+		c.maxEntries = (cfg.MemEntries + cacheStripes - 1) / cacheStripes
+	}
+	if cfg.MemBytes > 0 {
+		c.maxBytes = (cfg.MemBytes + cacheStripes - 1) / cacheStripes
+	}
+	if cfg.Dir != "" {
+		every := cfg.CompactEvery
+		if every == 0 {
+			every = time.Minute
+		}
+		disk, err := cas.Open(cas.Options{
+			Dir:          cfg.Dir,
+			MaxBytes:     cfg.DiskBytes,
+			CompactEvery: every,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: cache dir: %w", err)
+		}
+		c.disk = disk
+	}
+	if cfg.Preload != "" {
+		seed, err := cas.Open(cas.Options{Dir: cfg.Preload, ReadOnly: true})
+		if err != nil {
+			if c.disk != nil {
+				c.disk.Close()
+			}
+			return nil, fmt.Errorf("core: cache preload: %w", err)
+		}
+		c.seed = seed
+	}
+	return c, nil
+}
+
+// Close stops the persistent stores' background work. Memory-only
+// caches need no Close (it is a no-op).
+func (c *EvalCache) Close() {
+	if c.disk != nil {
+		c.disk.Close()
+	}
+	if c.seed != nil {
+		c.seed.Close()
 	}
 }
 
-// Stats snapshots the hit/miss counters and entry counts.
+func (c *EvalCache) stripe(fp ir.Fingerprint) *cacheStripe {
+	return c.stripes[fp[0]&(cacheStripes-1)]
+}
+
+func (c *EvalCache) hasDisk() bool { return c.disk != nil || c.seed != nil }
+
+// diskGet consults the read-write store, then the read-only seed.
+func (c *EvalCache) diskGet(k cas.Key) ([]byte, bool) {
+	if c.disk != nil {
+		if b, ok := c.disk.Get(k); ok {
+			return b, true
+		}
+	}
+	if c.seed != nil {
+		if b, ok := c.seed.Get(k); ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+func (c *EvalCache) diskPut(k cas.Key, payload []byte) {
+	if c.disk != nil {
+		c.disk.Put(k, payload)
+	}
+}
+
+// Stats snapshots traffic and occupancy. Each stripe is folded under
+// its own lock, so the per-stripe invariant (entries never exceed
+// misses plus disk hits) holds in every snapshot — the torn reads the
+// old atomic-counters-outside-the-mutex implementation allowed cannot
+// happen.
 func (c *EvalCache) Stats() CacheStats {
-	c.mu.Lock()
-	se, ce := len(c.scheds), len(c.comms)
-	c.mu.Unlock()
-	return CacheStats{
-		CommHits:     c.commHits.Load(),
-		CommMisses:   c.commMisses.Load(),
-		SchedHits:    c.schedHits.Load(),
-		SchedMisses:  c.schedMisses.Load(),
-		CPHits:       c.cpHits.Load(),
-		CPMisses:     c.cpMisses.Load(),
-		SchedEntries: se,
-		CommEntries:  ce,
+	var out CacheStats
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		out.CommHits += st.commHits
+		out.CommMisses += st.commMisses
+		out.SchedHits += st.schedHits
+		out.SchedMisses += st.schedMisses
+		out.CPHits += st.cpHits
+		out.CPMisses += st.cpMisses
+		out.DiskHits += st.diskHits
+		out.DiskMisses += st.diskMisses
+		out.MemEvictions += st.evictions
+		out.SchedEntries += len(st.scheds)
+		out.CommEntries += len(st.comms)
+		out.MemBytes += st.bytes
+		st.mu.Unlock()
 	}
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		out.DiskWrites += ds.Writes
+		out.DiskCorrupt += ds.Corrupt
+		out.DiskEntries += ds.Entries
+		out.DiskBytes += ds.Bytes
+	}
+	if c.seed != nil {
+		ss := c.seed.Stats()
+		out.DiskCorrupt += ss.Corrupt
+		out.DiskEntries += ss.Entries
+		out.DiskBytes += ss.Bytes
+	}
+	return out
 }
 
-// hit increments h on ok, m otherwise, and passes ok through.
-func hit(ok bool, h, m *atomic.Int64) bool {
-	if ok {
-		h.Add(1)
+// commEntrySize and scheduleSize estimate memory footprints for the
+// byte budget. Schedule estimates deliberately overcount (the pinned
+// materialized module is attributed to every schedule that references
+// it) — for a budget, too big is the safe direction.
+const commEntrySize = 192
+
+func scheduleSize(s *schedule.Schedule) int64 {
+	sz := int64(256)
+	for i := range s.Steps {
+		sz += 48
+		for _, r := range s.Steps[i].Regions {
+			sz += 24 + 4*int64(len(r))
+		}
+	}
+	if s.M != nil {
+		sz += 96 * int64(len(s.M.Ops))
+	}
+	return sz
+}
+
+// insert adds a node to its stripe's maps and recency list, then evicts
+// from the cold end until the stripe is back under budget. The fresh
+// node is never evicted. Write-through persistence means eviction just
+// drops memory — the disk layer still has the record. Caller holds
+// st.mu.
+func (c *EvalCache) insert(st *cacheStripe, n *lruNode) {
+	if n.isSched {
+		st.scheds[n.sk] = n
 	} else {
-		m.Add(1)
+		st.comms[n.ck] = n
 	}
-	return ok
+	st.pushFront(n)
+	st.bytes += n.size
+	over := func() bool {
+		if c.maxEntries > 0 && len(st.scheds)+len(st.comms) > c.maxEntries {
+			return true
+		}
+		return c.maxBytes > 0 && st.bytes > c.maxBytes
+	}
+	for over() {
+		victim := st.lru.prev
+		if victim == &st.lru || victim == n {
+			return
+		}
+		victim.prev.next = victim.next
+		victim.next.prev = victim.prev
+		if victim.isSched {
+			delete(st.scheds, victim.sk)
+		} else {
+			delete(st.comms, victim.ck)
+		}
+		st.bytes -= victim.size
+		st.evictions++
+	}
 }
 
-func (c *EvalCache) commResult(k commKey) (commEntry, bool) {
-	c.mu.Lock()
-	e, ok := c.comms[k]
-	c.mu.Unlock()
-	return e, hit(ok, &c.commHits, &c.commMisses)
+// commResult looks up a finished characterization: memory stripe first,
+// then the persistent stores (promoting a disk record into memory).
+func (c *EvalCache) commResult(k commKey, rec *CacheRecorder) (commEntry, bool) {
+	st := c.stripe(k.sk.fp)
+	st.mu.Lock()
+	if n, ok := st.comms[k]; ok {
+		st.moveFront(n)
+		st.commHits++
+		st.mu.Unlock()
+		rec.recCount(recCommHit)
+		return n.comm, true
+	}
+	if !c.hasDisk() {
+		st.commMisses++
+		st.mu.Unlock()
+		rec.recCount(recCommMiss)
+		return commEntry{}, false
+	}
+	st.mu.Unlock()
+
+	ck := k.casKey()
+	if payload, ok := c.diskGet(ck); ok {
+		if e, ok := decodeCommEntry(payload); ok {
+			st.mu.Lock()
+			if n, dup := st.comms[k]; dup {
+				e = n.comm
+				st.moveFront(n)
+			} else {
+				c.insert(st, &lruNode{size: commEntrySize, ck: k, comm: e})
+			}
+			st.commHits++
+			st.diskHits++
+			st.mu.Unlock()
+			rec.recCount(recCommHit)
+			rec.recCount(recDiskHit)
+			return e, true
+		}
+		// Framing was valid but the payload shape is wrong: a stale
+		// record from an incompatible build. Drop it and recompute.
+		if c.disk != nil {
+			c.disk.Delete(ck)
+		}
+	}
+	st.mu.Lock()
+	st.commMisses++
+	st.diskMisses++
+	st.mu.Unlock()
+	rec.recCount(recCommMiss)
+	rec.recCount(recDiskMiss)
+	return commEntry{}, false
 }
 
 func (c *EvalCache) putCommResult(k commKey, e commEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.comms[k] = e
+	st := c.stripe(k.sk.fp)
+	st.mu.Lock()
+	if n, ok := st.comms[k]; ok {
+		st.moveFront(n)
+		st.mu.Unlock()
+	} else {
+		c.insert(st, &lruNode{size: commEntrySize, ck: k, comm: e})
+		st.mu.Unlock()
+	}
+	c.diskPut(k.casKey(), encodeCommEntry(e))
 }
 
-func (c *EvalCache) schedule(k schedKey) (*schedule.Schedule, bool) {
-	c.mu.Lock()
-	s, ok := c.scheds[k]
-	c.mu.Unlock()
-	return s, hit(ok, &c.schedHits, &c.schedMisses)
+// schedule looks up a zero-communication schedule. A disk record is
+// JSON that only binds to its materialized module, so the caller passes
+// bind — the leaf's once-guarded materializer — invoked only on the
+// memory-miss/disk-hit path. A record that no longer binds (stale
+// fingerprint) is deleted and treated as a miss.
+func (c *EvalCache) schedule(k schedKey, rec *CacheRecorder, bind func() (*ir.Module, error)) (*schedule.Schedule, bool) {
+	st := c.stripe(k.fp)
+	st.mu.Lock()
+	if n, ok := st.scheds[k]; ok {
+		st.moveFront(n)
+		st.schedHits++
+		st.mu.Unlock()
+		rec.recCount(recSchedHit)
+		return n.sched, true
+	}
+	if !c.hasDisk() {
+		st.schedMisses++
+		st.mu.Unlock()
+		rec.recCount(recSchedMiss)
+		return nil, false
+	}
+	st.mu.Unlock()
+
+	ck := k.casKey()
+	if payload, ok := c.diskGet(ck); ok && bind != nil {
+		// Materialization and decode run outside the stripe lock: both
+		// can be expensive and neither touches stripe state.
+		if s := decodeSchedule(payload, bind); s != nil {
+			st.mu.Lock()
+			if n, dup := st.scheds[k]; dup {
+				s = n.sched
+				st.moveFront(n)
+			} else {
+				c.insert(st, &lruNode{size: scheduleSize(s), isSched: true, sk: k, sched: s})
+			}
+			st.schedHits++
+			st.diskHits++
+			st.mu.Unlock()
+			rec.recCount(recSchedHit)
+			rec.recCount(recDiskHit)
+			return s, true
+		}
+		if c.disk != nil {
+			c.disk.Delete(ck)
+		}
+	}
+	st.mu.Lock()
+	st.schedMisses++
+	st.diskMisses++
+	st.mu.Unlock()
+	rec.recCount(recSchedMiss)
+	rec.recCount(recDiskMiss)
+	return nil, false
+}
+
+func decodeSchedule(payload []byte, bind func() (*ir.Module, error)) *schedule.Schedule {
+	m, err := bind()
+	if err != nil {
+		return nil
+	}
+	s, err := schedule.ReadJSON(bytes.NewReader(payload), m)
+	if err != nil {
+		return nil
+	}
+	return s
 }
 
 func (c *EvalCache) putSchedule(k schedKey, s *schedule.Schedule) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.scheds[k] = s
+	st := c.stripe(k.fp)
+	st.mu.Lock()
+	if n, ok := st.scheds[k]; ok {
+		st.moveFront(n)
+		st.mu.Unlock()
+	} else {
+		c.insert(st, &lruNode{size: scheduleSize(s), isSched: true, sk: k, sched: s})
+		st.mu.Unlock()
+	}
+	if c.disk != nil {
+		var buf bytes.Buffer
+		if err := schedule.WriteJSON(&buf, s); err == nil {
+			c.disk.Put(k.casKey(), buf.Bytes())
+		}
+	}
 }
 
-func (c *EvalCache) criticalPath(fp ir.Fingerprint) (int64, bool) {
-	c.mu.Lock()
-	cp, ok := c.cps[fp]
-	c.mu.Unlock()
-	return cp, hit(ok, &c.cpHits, &c.cpMisses)
+func (c *EvalCache) criticalPath(fp ir.Fingerprint, rec *CacheRecorder) (int64, bool) {
+	st := c.stripe(fp)
+	st.mu.Lock()
+	if cp, ok := st.cps[fp]; ok {
+		st.cpHits++
+		st.mu.Unlock()
+		rec.recCount(recCPHit)
+		return cp, true
+	}
+	if !c.hasDisk() {
+		st.cpMisses++
+		st.mu.Unlock()
+		rec.recCount(recCPMiss)
+		return 0, false
+	}
+	st.mu.Unlock()
+
+	if payload, ok := c.diskGet(cpCasKey(fp)); ok && len(payload) == 8 {
+		cp := int64(binary.LittleEndian.Uint64(payload))
+		st.mu.Lock()
+		st.cps[fp] = cp
+		st.cpHits++
+		st.diskHits++
+		st.mu.Unlock()
+		rec.recCount(recCPHit)
+		rec.recCount(recDiskHit)
+		return cp, true
+	}
+	st.mu.Lock()
+	st.cpMisses++
+	st.diskMisses++
+	st.mu.Unlock()
+	rec.recCount(recCPMiss)
+	rec.recCount(recDiskMiss)
+	return 0, false
 }
 
 func (c *EvalCache) putCriticalPath(fp ir.Fingerprint, cp int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cps[fp] = cp
+	st := c.stripe(fp)
+	st.mu.Lock()
+	st.cps[fp] = cp
+	st.mu.Unlock()
+	if c.disk != nil {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(cp))
+		c.disk.Put(cpCasKey(fp), b)
+	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -18,35 +21,40 @@ func TestCacheLayerAccounting(t *testing.T) {
 	sk := schedKey{fp: fp, config: "test", w: 4, d: 0}
 	ck := commKey{sk: sk, comm: comm.Options{LocalCapacity: -1}}
 
-	if _, ok := c.schedule(sk); ok {
+	if _, ok := c.schedule(sk, nil, nil); ok {
 		t.Fatal("empty cache returned a schedule")
 	}
 	c.putSchedule(sk, &schedule.Schedule{K: 4})
-	if s, ok := c.schedule(sk); !ok || s.K != 4 {
+	if s, ok := c.schedule(sk, nil, nil); !ok || s.K != 4 {
 		t.Fatal("put schedule not returned")
 	}
-	if _, ok := c.commResult(ck); ok {
+	if _, ok := c.commResult(ck, nil); ok {
 		t.Fatal("empty comm layer returned an entry")
 	}
 	c.putCommResult(ck, commEntry{zeroLen: 7, cycles: 21})
-	if e, ok := c.commResult(ck); !ok || e.cycles != 21 {
+	if e, ok := c.commResult(ck, nil); !ok || e.cycles != 21 {
 		t.Fatal("put comm entry not returned")
 	}
-	if _, ok := c.criticalPath(fp); ok {
+	if _, ok := c.criticalPath(fp, nil); ok {
 		t.Fatal("empty cp layer returned an entry")
 	}
 	c.putCriticalPath(fp, 99)
-	if cp, ok := c.criticalPath(fp); !ok || cp != 99 {
+	if cp, ok := c.criticalPath(fp, nil); !ok || cp != 99 {
 		t.Fatal("put critical path not returned")
 	}
 
+	got := c.Stats()
+	if got.MemBytes <= 0 {
+		t.Errorf("MemBytes = %d, want > 0", got.MemBytes)
+	}
+	got.MemBytes = 0
 	want := CacheStats{
 		CommHits: 1, CommMisses: 1,
 		SchedHits: 1, SchedMisses: 1,
 		CPHits: 1, CPMisses: 1,
 		SchedEntries: 1, CommEntries: 1,
 	}
-	if got := c.Stats(); got != want {
+	if got != want {
 		t.Errorf("Stats() = %+v, want %+v", got, want)
 	}
 }
@@ -60,13 +68,13 @@ func TestCacheKeyDiscrimination(t *testing.T) {
 	c.putSchedule(sk, &schedule.Schedule{K: 4})
 	c.putCommResult(commKey{sk: sk}, commEntry{cycles: 5})
 
-	if _, ok := c.commResult(commKey{sk: sk, comm: comm.Options{LocalCapacity: 8}}); ok {
+	if _, ok := c.commResult(commKey{sk: sk, comm: comm.Options{LocalCapacity: 8}}, nil); ok {
 		t.Error("comm layer hit across different comm options")
 	}
-	if _, ok := c.schedule(sk); !ok {
+	if _, ok := c.schedule(sk, nil, nil); !ok {
 		t.Error("schedule layer missed its exact key")
 	}
-	if _, ok := c.schedule(schedKey{config: "rcp", w: 2}); ok {
+	if _, ok := c.schedule(schedKey{config: "rcp", w: 2}, nil, nil); ok {
 		t.Error("schedule layer hit across different widths")
 	}
 	st := c.Stats()
@@ -77,14 +85,21 @@ func TestCacheKeyDiscrimination(t *testing.T) {
 
 // TestCacheStatsHelpers checks the Sub delta and the hit-rate maths.
 func TestCacheStatsHelpers(t *testing.T) {
-	a := CacheStats{CommHits: 10, CommMisses: 2, SchedHits: 4, SchedEntries: 3, CommEntries: 5}
-	b := CacheStats{CommHits: 4, CommMisses: 1, SchedHits: 1}
+	a := CacheStats{
+		CommHits: 10, CommMisses: 2, SchedHits: 4,
+		DiskHits: 6, DiskMisses: 3, DiskWrites: 9, MemEvictions: 4,
+		SchedEntries: 3, CommEntries: 5, MemBytes: 100, DiskEntries: 7, DiskBytes: 900,
+	}
+	b := CacheStats{CommHits: 4, CommMisses: 1, SchedHits: 1, DiskHits: 2, DiskWrites: 4, MemEvictions: 1}
 	d := a.Sub(b)
 	if d.CommHits != 6 || d.CommMisses != 1 || d.SchedHits != 3 {
 		t.Errorf("Sub = %+v", d)
 	}
-	if d.SchedEntries != 3 || d.CommEntries != 5 {
-		t.Errorf("Sub dropped absolute entry counts: %+v", d)
+	if d.DiskHits != 4 || d.DiskMisses != 3 || d.DiskWrites != 5 || d.MemEvictions != 3 {
+		t.Errorf("Sub disk traffic = %+v", d)
+	}
+	if d.SchedEntries != 3 || d.CommEntries != 5 || d.MemBytes != 100 || d.DiskEntries != 7 || d.DiskBytes != 900 {
+		t.Errorf("Sub dropped absolute occupancy: %+v", d)
 	}
 	if got := (CacheStats{CommHits: 3, CommMisses: 1}).CommHitRate(); got != 0.75 {
 		t.Errorf("CommHitRate = %v, want 0.75", got)
@@ -95,35 +110,341 @@ func TestCacheStatsHelpers(t *testing.T) {
 }
 
 // TestCacheCountersConcurrent hammers both layers from many goroutines
-// so -race exercises the atomic counters, then checks totals.
+// so -race exercises the striped counters, then checks the global
+// totals and that per-goroutine recorders sum exactly to them — the
+// attribution contract the service's access logs depend on.
 func TestCacheCountersConcurrent(t *testing.T) {
 	c := NewEvalCache()
 	sk := schedKey{config: "x", w: 1}
 	c.putSchedule(sk, &schedule.Schedule{K: 1})
 	c.putCommResult(commKey{sk: sk}, commEntry{})
+	c.putCriticalPath(ir.Fingerprint{1}, 1)
+	before := c.Stats()
 	const goroutines, iters = 8, 100
+	recs := make([]*CacheRecorder, goroutines)
 	var wg sync.WaitGroup
 	for i := 0; i < goroutines; i++ {
+		recs[i] = &CacheRecorder{}
 		wg.Add(1)
-		go func(i int) {
+		go func(rec *CacheRecorder) {
 			defer wg.Done()
 			for j := 0; j < iters; j++ {
-				c.schedule(sk)                    // hit
-				c.schedule(schedKey{config: "y"}) // miss
-				c.commResult(commKey{sk: sk})     // hit
-				c.commResult(commKey{})           // miss
-				c.criticalPath(ir.Fingerprint{1}) // miss
-				c.putCriticalPath(ir.Fingerprint{1}, 1)
+				c.schedule(sk, rec, nil)                    // hit
+				c.schedule(schedKey{config: "y"}, rec, nil) // miss
+				c.commResult(commKey{sk: sk}, rec)          // hit
+				c.commResult(commKey{}, rec)                // miss
+				c.criticalPath(ir.Fingerprint{1}, rec)      // hit
+				c.criticalPath(ir.Fingerprint{2}, rec)      // miss
 			}
-		}(i)
+		}(recs[i])
 	}
 	wg.Wait()
-	st := c.Stats()
+	st := c.Stats().Sub(before)
 	n := int64(goroutines * iters)
-	if st.SchedHits != n || st.SchedMisses != n || st.CommHits != n || st.CommMisses != n {
+	if st.SchedHits != n || st.SchedMisses != n || st.CommHits != n || st.CommMisses != n ||
+		st.CPHits != n || st.CPMisses != n {
 		t.Errorf("lost counts under concurrency: %+v (want %d per column)", st, n)
 	}
-	if st.CPHits+st.CPMisses != n {
-		t.Errorf("cp traffic %d+%d, want total %d", st.CPHits, st.CPMisses, n)
+	var sum CacheStats
+	for _, rec := range recs {
+		rs := rec.Stats()
+		sum.SchedHits += rs.SchedHits
+		sum.SchedMisses += rs.SchedMisses
+		sum.CommHits += rs.CommHits
+		sum.CommMisses += rs.CommMisses
+		sum.CPHits += rs.CPHits
+		sum.CPMisses += rs.CPMisses
+	}
+	if sum.SchedHits != st.SchedHits || sum.SchedMisses != st.SchedMisses ||
+		sum.CommHits != st.CommHits || sum.CommMisses != st.CommMisses ||
+		sum.CPHits != st.CPHits || sum.CPMisses != st.CPMisses {
+		t.Errorf("recorder sum %+v != global delta %+v", sum, st)
+	}
+}
+
+// sameStripeKey builds the i-th schedKey landing on stripe 0, so
+// eviction tests control exactly which stripe fills up.
+func sameStripeKey(i int) commKey {
+	var fp ir.Fingerprint
+	fp[1] = byte(i)
+	fp[2] = byte(i >> 8)
+	return commKey{sk: schedKey{fp: fp, config: "ev", w: 1}}
+}
+
+// TestCacheMemEntryBudget: with a per-stripe entry budget of 2, the
+// least-recently-used entry of a stripe is evicted on overflow — and a
+// fresh Get keeps an entry alive (true LRU, not FIFO).
+func TestCacheMemEntryBudget(t *testing.T) {
+	// MemEntries is a global budget split across 64 stripes.
+	c, err := OpenEvalCache(CacheConfig{MemEntries: 2 * cacheStripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d := sameStripeKey(1), sameStripeKey(2), sameStripeKey(3)
+	c.putCommResult(a, commEntry{cycles: 1})
+	c.putCommResult(b, commEntry{cycles: 2})
+	if _, ok := c.commResult(a, nil); !ok { // a is now most recent
+		t.Fatal("a missing before overflow")
+	}
+	c.putCommResult(d, commEntry{cycles: 3}) // evicts b, the coldest
+	if _, ok := c.commResult(b, nil); ok {
+		t.Error("LRU victim b survived eviction")
+	}
+	for _, k := range []commKey{a, d} {
+		if _, ok := c.commResult(k, nil); !ok {
+			t.Errorf("entry %v evicted out of LRU order", k.sk.fp[:3])
+		}
+	}
+	st := c.Stats()
+	if st.MemEvictions != 1 || st.CommEntries != 2 {
+		t.Errorf("stats = %+v; want 1 eviction, 2 entries", st)
+	}
+}
+
+// TestCacheMemByteBudget: the byte budget evicts as well.
+func TestCacheMemByteBudget(t *testing.T) {
+	c, err := OpenEvalCache(CacheConfig{MemBytes: commEntrySize * cacheStripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.putCommResult(sameStripeKey(1), commEntry{})
+	c.putCommResult(sameStripeKey(2), commEntry{})
+	st := c.Stats()
+	if st.CommEntries != 1 || st.MemEvictions != 1 {
+		t.Errorf("stats = %+v; want 1 entry after byte-budget eviction", st)
+	}
+	if st.MemBytes > commEntrySize {
+		t.Errorf("MemBytes = %d over per-stripe budget %d", st.MemBytes, commEntrySize)
+	}
+}
+
+// testLeafModule builds a tiny real leaf whose fingerprint anchors
+// persisted schedule records.
+func testLeafModule() *ir.Module {
+	m := ir.NewModule("leaf", []ir.Reg{{Name: "q", Size: 2}}, nil)
+	m.Gate(0, 0)
+	m.Gate(0, 1)
+	return m
+}
+
+// TestCachePersistentRoundTrip is the restart story: results written by
+// one cache instance are served — byte-identical — by a fresh instance
+// over the same directory, for all three layers, counted as disk hits.
+func TestCachePersistentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := testLeafModule()
+	fp := m.Fingerprint()
+	sk := schedKey{fp: fp, config: "rcp", w: 2}
+	ck := commKey{sk: sk, comm: comm.Options{LocalCapacity: 4}}
+	sched := &schedule.Schedule{M: m, K: 2, Steps: []schedule.Step{
+		{Regions: [][]int32{{0}, {1}}},
+	}}
+
+	c1, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.putSchedule(sk, sched)
+	c1.putCommResult(ck, commEntry{zeroLen: 1, cycles: 9, globals: 2, locals: 3})
+	c1.putCriticalPath(fp, 17)
+	c1.Close()
+
+	c2, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rec := &CacheRecorder{}
+	e, ok := c2.commResult(ck, rec)
+	if !ok || (e != commEntry{zeroLen: 1, cycles: 9, globals: 2, locals: 3}) {
+		t.Fatalf("comm round trip = %+v, %v", e, ok)
+	}
+	cp, ok := c2.criticalPath(fp, rec)
+	if !ok || cp != 17 {
+		t.Fatalf("cp round trip = %d, %v", cp, ok)
+	}
+	bind := func() (*ir.Module, error) { return m, nil }
+	s2, ok := c2.schedule(sk, rec, bind)
+	if !ok {
+		t.Fatal("schedule round trip missed")
+	}
+	if s2.K != sched.K || !reflect.DeepEqual(s2.Steps, sched.Steps) {
+		t.Fatalf("schedule round trip differs: %+v vs %+v", s2, sched)
+	}
+	if rs := rec.Stats(); rs.DiskHits != 3 || rs.DiskMisses != 0 {
+		t.Errorf("recorder = %+v; want 3 disk hits", rs)
+	}
+	// Promoted into memory: a repeat lookup is a pure memory hit.
+	beforeRepeat := c2.Stats()
+	if _, ok := c2.commResult(ck, nil); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if d := c2.Stats().Sub(beforeRepeat); d.DiskHits != 0 || d.CommHits != 1 {
+		t.Errorf("repeat lookup delta = %+v; want pure memory hit", d)
+	}
+}
+
+// TestCachePreloadSeed: a read-only seed corpus (CacheConfig.Preload)
+// serves hits without being written or mutated.
+func TestCachePreloadSeed(t *testing.T) {
+	seedDir := t.TempDir()
+	fp := ir.Fingerprint{42}
+	ck := commKey{sk: schedKey{fp: fp, config: "rcp", w: 4}}
+	w, err := OpenEvalCache(CacheConfig{Dir: seedDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.putCommResult(ck, commEntry{cycles: 5})
+	w.Close()
+
+	rwDir := t.TempDir()
+	c, err := OpenEvalCache(CacheConfig{Dir: rwDir, Preload: seedDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if e, ok := c.commResult(ck, nil); !ok || e.cycles != 5 {
+		t.Fatalf("seed lookup = %+v, %v", e, ok)
+	}
+	// New results land in the read-write dir, never the seed.
+	other := commKey{sk: schedKey{fp: ir.Fingerprint{43}, config: "rcp", w: 4}}
+	c.putCommResult(other, commEntry{cycles: 6})
+	seedOnly, err := OpenEvalCache(CacheConfig{Preload: seedDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedOnly.Close()
+	if _, ok := seedOnly.commResult(other, nil); ok {
+		t.Error("write leaked into the read-only seed corpus")
+	}
+}
+
+// TestCacheStaleScheduleRecordIsMiss: a persisted schedule whose module
+// no longer hashes the same (a stale corpus against changed code) must
+// degrade to a miss and drop the record — never bind or crash.
+func TestCacheStaleScheduleRecordIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	m := testLeafModule()
+	sk := schedKey{fp: m.Fingerprint(), config: "rcp", w: 2}
+	c1, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.putSchedule(sk, &schedule.Schedule{M: m, K: 2, Steps: []schedule.Step{{Regions: [][]int32{{0}}}}})
+	c1.Close()
+
+	c2, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	different := ir.NewModule("leaf", []ir.Reg{{Name: "q", Size: 3}}, nil)
+	different.Gate(0, 2)
+	bind := func() (*ir.Module, error) { return different, nil }
+	if _, ok := c2.schedule(sk, nil, bind); ok {
+		t.Fatal("stale schedule record bound to a different module")
+	}
+	// The bad record is gone: a rebuilt module misses cleanly without
+	// re-reading it.
+	if st := c2.Stats(); st.SchedMisses != 1 || st.DiskMisses != 1 {
+		t.Errorf("stats after stale bind = %+v", st)
+	}
+}
+
+// TestCacheEvictedEntryServedFromDisk: write-through persistence means
+// memory eviction costs a disk read, not a recompute.
+func TestCacheEvictedEntryServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenEvalCache(CacheConfig{Dir: dir, MemEntries: cacheStripes}) // 1 per stripe
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, b := sameStripeKey(1), sameStripeKey(2)
+	c.putCommResult(a, commEntry{cycles: 11})
+	c.putCommResult(b, commEntry{cycles: 22}) // evicts a from memory
+	e, ok := c.commResult(a, nil)
+	if !ok || e.cycles != 11 {
+		t.Fatalf("evicted entry not restored from disk: %+v, %v", e, ok)
+	}
+	st := c.Stats()
+	if st.MemEvictions < 1 || st.DiskHits != 1 {
+		t.Errorf("stats = %+v; want eviction + disk hit", st)
+	}
+}
+
+// TestCacheSurvivesAbruptStop is the kill-9 half of the crash-safety
+// contract at the cache level: no Close, no flush — every completed Put
+// must already be durable (write-through + atomic rename), and a fresh
+// cache over the directory serves identical bytes.
+func TestCacheSurvivesAbruptStop(t *testing.T) {
+	dir := t.TempDir()
+	m := testLeafModule()
+	sk := schedKey{fp: m.Fingerprint(), config: "lpfs", w: 2}
+	sched := &schedule.Schedule{M: m, K: 2, Steps: []schedule.Step{
+		{Regions: [][]int32{{0, 1}}},
+		{Regions: [][]int32{{1}, {0}}},
+	}}
+	c1, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.putSchedule(sk, sched)
+	// Simulated kill -9: c1 is abandoned, never Closed.
+
+	c2, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	s2, ok := c2.schedule(sk, nil, func() (*ir.Module, error) { return m, nil })
+	if !ok {
+		t.Fatal("schedule lost after abrupt stop")
+	}
+	if !reflect.DeepEqual(s2.Steps, sched.Steps) {
+		t.Fatalf("schedule differs after abrupt stop: %+v vs %+v", s2.Steps, sched.Steps)
+	}
+	c1.Close() // only to stop goroutines under -race cleanliness
+}
+
+// TestCacheCorruptDiskRecordIsMiss: flipping bits in a persisted record
+// demotes it to a miss (and quarantine) at the cache level too.
+func TestCacheCorruptDiskRecordIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	ck := commKey{sk: schedKey{fp: ir.Fingerprint{7}, config: "rcp", w: 1}}
+	c1, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.putCommResult(ck, commEntry{cycles: 5})
+	c1.Close()
+
+	// Corrupt every record file under the store.
+	var corrupted int
+	filepath.Walk(filepath.Join(dir, "shards"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			data, rerr := os.ReadFile(path)
+			if rerr == nil && len(data) > 0 {
+				data[len(data)-1] ^= 0xff
+				os.WriteFile(path, data, 0o644)
+				corrupted++
+			}
+		}
+		return nil
+	})
+	if corrupted == 0 {
+		t.Fatal("no record files found to corrupt")
+	}
+
+	c2, err := OpenEvalCache(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, ok := c2.commResult(ck, nil); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+	if st := c2.Stats(); st.DiskCorrupt != 1 || st.CommMisses != 1 {
+		t.Errorf("stats = %+v; want 1 corrupt, 1 comm miss", st)
 	}
 }

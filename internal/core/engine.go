@@ -51,7 +51,12 @@ type engine struct {
 	comm   comm.Options
 	widths []int
 	cache  *EvalCache
-	eo     engObs
+	// rec is this run's cache-traffic view: the caller's recorder
+	// (EvalOptions.CacheStats) or a private one, never nil — so
+	// publish() reports exactly this evaluation's traffic even while
+	// other runs share the cache.
+	rec *CacheRecorder
+	eo  engObs
 	// an holds one reusable comm analyzer per worker slot, so every
 	// characterization on a slot reuses the same dense scratch state
 	// instead of allocating per (leaf, width) point. Slots are stable per
@@ -107,6 +112,10 @@ func newEngine(ctx context.Context, p *ir.Program, opts EvalOptions) *engine {
 		cache = NewEvalCache()
 	}
 	sched := opts.scheduler()
+	rec := opts.CacheStats
+	if rec == nil {
+		rec = &CacheRecorder{}
+	}
 	return &engine{
 		ctx:    ctx,
 		p:      p,
@@ -116,6 +125,7 @@ func newEngine(ctx context.Context, p *ir.Program, opts EvalOptions) *engine {
 		comm:   opts.Comm,
 		widths: widthSet(opts.K),
 		cache:  cache,
+		rec:    rec,
 		eo:     newEngObs(opts.Obs),
 	}
 }
@@ -302,7 +312,7 @@ func (e *engine) profiled(wi int) bool {
 // point (inert when tracing is off).
 func (e *engine) characterize(ls *leafState, wi, slot int, sp *obs.Span) error {
 	if wi == 0 {
-		cp, ok := e.cache.criticalPath(ls.fp)
+		cp, ok := e.cache.criticalPath(ls.fp, e.rec)
 		if !ok {
 			_, g, err := ls.graph(e.opts.materializeLimit())
 			if err != nil {
@@ -320,12 +330,19 @@ func (e *engine) characterize(ls *leafState, wi, slot int, sp *obs.Span) error {
 	// Verification re-derives the move list, so it bypasses the warm
 	// fast path: a cached result may predate the oracle. Profiling needs
 	// the schedule and move lists too, but only at the profiled width.
-	if ce, ok := e.cache.commResult(ck); ok && !e.opts.Verify && !e.profiled(wi) {
+	if ce, ok := e.cache.commResult(ck, e.rec); ok && !e.opts.Verify && !e.profiled(wi) {
 		sp.SetStr("cache", "comm-hit")
 		ls.slots[wi] = ce
 		return nil
 	}
-	s, ok := e.cache.schedule(sk)
+	// The schedule layer may be serving a persisted record, which only
+	// decodes against its materialized module; bind hands the cache this
+	// leaf's once-guarded materializer for exactly that path.
+	bind := func() (*ir.Module, error) {
+		mat, _, err := ls.graph(e.opts.materializeLimit())
+		return mat, err
+	}
+	s, ok := e.cache.schedule(sk, e.rec, bind)
 	if !ok {
 		sp.SetStr("cache", "miss")
 		mat, g, err := ls.graph(e.opts.materializeLimit())

@@ -112,6 +112,14 @@ type EvalOptions struct {
 	// cache per benchmark so repeated configurations reuse schedules and
 	// only re-run comm.Analyze when comm options change.
 	Cache *EvalCache
+
+	// CacheStats, when non-nil, receives this evaluation's own cache
+	// traffic (hits, misses, disk-layer traffic) — an exact attribution
+	// even when many evaluations share one Cache concurrently. The
+	// service fills its per-request access-log cache blocks from here;
+	// reading the shared cache's global Stats() around a run would bleed
+	// concurrent flights' traffic into each other.
+	CacheStats *CacheRecorder
 }
 
 func (o EvalOptions) materializeLimit() int64 {
@@ -212,7 +220,6 @@ func EvaluateContext(ctx context.Context, p *ir.Program, opts EvalOptions) (*Met
 		return nil, fmt.Errorf("core: k must be >= 1")
 	}
 	e := newEngine(ctx, p, opts)
-	statsBefore := e.cache.Stats()
 	esp := e.eo.tr.Span("engine", "evaluate")
 	esp.SetInt("k", int64(opts.K))
 	esp.SetStr("scheduler", e.sched.Name())
@@ -233,7 +240,7 @@ func EvaluateContext(ctx context.Context, p *ir.Program, opts EvalOptions) (*Met
 	if err != nil {
 		return nil, err
 	}
-	e.publish(m, statsBefore)
+	e.publish(m)
 	return m, nil
 }
 
@@ -285,21 +292,30 @@ func (e *engine) evaluate(p *ir.Program, opts EvalOptions) (*Metrics, error) {
 // publish pushes the run's results into the metrics registry: the
 // final Metrics as eval.* gauges (so a -metrics-out snapshot agrees
 // with the printed report by construction) and this run's cache-layer
-// traffic as eval_cache.* counters.
-func (e *engine) publish(m *Metrics, before CacheStats) {
+// traffic as eval_cache.* counters. Traffic comes from the engine's
+// per-run recorder — exact even when concurrent runs share the cache —
+// while occupancy gauges read the shared cache's absolutes.
+func (e *engine) publish(m *Metrics) {
 	r := e.opts.Obs.M()
 	if r == nil {
 		return
 	}
-	d := e.cache.Stats().Sub(before)
+	d := e.rec.Stats()
 	r.Counter("eval_cache.comm.hits").Add(d.CommHits)
 	r.Counter("eval_cache.comm.misses").Add(d.CommMisses)
 	r.Counter("eval_cache.sched.hits").Add(d.SchedHits)
 	r.Counter("eval_cache.sched.misses").Add(d.SchedMisses)
 	r.Counter("eval_cache.cp.hits").Add(d.CPHits)
 	r.Counter("eval_cache.cp.misses").Add(d.CPMisses)
-	r.Gauge("eval_cache.sched.entries").Set(int64(d.SchedEntries))
-	r.Gauge("eval_cache.comm.entries").Set(int64(d.CommEntries))
+	r.Counter("eval_cache.disk.hits").Add(d.DiskHits)
+	r.Counter("eval_cache.disk.misses").Add(d.DiskMisses)
+	occ := e.cache.Stats()
+	r.Gauge("eval_cache.sched.entries").Set(int64(occ.SchedEntries))
+	r.Gauge("eval_cache.comm.entries").Set(int64(occ.CommEntries))
+	r.Gauge("eval_cache.mem.bytes").Set(occ.MemBytes)
+	r.Gauge("eval_cache.mem.evictions").Set(occ.MemEvictions)
+	r.Gauge("eval_cache.disk.entries").Set(int64(occ.DiskEntries))
+	r.Gauge("eval_cache.disk.bytes").Set(occ.DiskBytes)
 
 	r.Gauge("eval.total_gates").Set(m.TotalGates)
 	r.Gauge("eval.min_qubits").Set(m.MinQubits)

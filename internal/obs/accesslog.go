@@ -21,6 +21,11 @@ type AccessCache struct {
 	CommMisses  int64 `json:"comm_misses"`
 	SchedHits   int64 `json:"sched_hits"`
 	SchedMisses int64 `json:"sched_misses"`
+	// DiskHits/DiskMisses are the persistent layer's share: lookups the
+	// memory front missed that a disk record served (or failed to).
+	// Zero — and omitted — when the cache runs memory-only.
+	DiskHits   int64 `json:"disk_hits,omitempty"`
+	DiskMisses int64 `json:"disk_misses,omitempty"`
 }
 
 // AccessEntry is one access-log record. Omitempty fields only apply to

@@ -239,6 +239,11 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 			{"queued / cap", fmt.Sprintf("%d / %d", state.QueueDepth, state.QueueCap)},
 			{"sched cache hit rate", fmt.Sprintf("%.1f%% (%d/%d)", schedRate*100, cache.SchedHits, schedTotal)},
 			{"comm cache hit rate", fmt.Sprintf("%.1f%%", cache.CommHitRate()*100)},
+			{"mem cache", fmt.Sprintf("%d+%d entries, %.1f MiB, %d evicted",
+				cache.SchedEntries, cache.CommEntries, float64(cache.MemBytes)/(1<<20), cache.MemEvictions)},
+			{"disk cache", fmt.Sprintf("%d records, %.1f MiB, %d hits / %d misses",
+				cache.DiskEntries, float64(cache.DiskBytes)/(1<<20), cache.DiskHits, cache.DiskMisses)},
+			{"disk writes / corrupt", fmt.Sprintf("%d / %d", cache.DiskWrites, cache.DiskCorrupt)},
 			{"goroutines", fmt.Sprint(state.Runtime.Goroutines)},
 			{"heap", fmt.Sprintf("%.1f MiB", float64(state.Runtime.HeapAllocBytes)/(1<<20))},
 			{"gc pauses", fmt.Sprintf("%d total, %.2fms last", state.Runtime.GCCount,

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -142,19 +143,25 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 			collector = report.NewCollector()
 			eopts.Profile = collector
 		}
-		statsBefore := s.cache.Stats()
+		// The cache is shared by every concurrent flight, so a global
+		// Stats() delta around the evaluation would bleed other flights'
+		// hits and misses into this request's log. A per-evaluation
+		// recorder attributes exactly this run's traffic.
+		rec := &core.CacheRecorder{}
+		eopts.CacheStats = rec
 		evalStart := time.Now()
 		m, err := core.EvaluateContext(evalCtx, p, eopts)
 		if err != nil {
 			return nil, err
 		}
-		delta := s.cache.Stats().Sub(statsBefore)
+		delta := rec.Stats()
 		res := evalResult{m: m, stats: flightStats{
 			queueWaitMS: float64(queueWait.Microseconds()) / 1000,
 			evalMS:      float64(time.Since(evalStart).Microseconds()) / 1000,
 			cache: obs.AccessCache{
 				CommHits: delta.CommHits, CommMisses: delta.CommMisses,
 				SchedHits: delta.SchedHits, SchedMisses: delta.SchedMisses,
+				DiskHits: delta.DiskHits, DiskMisses: delta.DiskMisses,
 			},
 			phases: tr.Phases(maxLogPhases),
 		}}
@@ -202,7 +209,7 @@ type programBuilder = func() (*ir.Program, error)
 func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, errBusy):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSecs(), 10))
 		if r != nil {
 			if info := reqInfoFrom(r.Context()); info != nil {
 				info.queueDepth = s.queued.Load()

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -76,6 +77,7 @@ type Server struct {
 	stopSampler func()
 	history     *history
 	slow        *slowRing
+	drains      drainTracker
 
 	inflightGauge *obs.Gauge
 	queuedGauge   *obs.Gauge
@@ -208,6 +210,9 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 		s.inflightGauge.Add(1)
 		return func() {
 			s.inflightGauge.Add(-1)
+			// A released slot is one queue position drained; the tracker's
+			// observed rate prices the Retry-After of 429 responses.
+			s.drains.note(time.Now())
 			<-s.sem
 		}
 	}
@@ -232,6 +237,83 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// drainTracker remembers recent evaluation-completion times so 429
+// responses can price their Retry-After from the observed drain rate
+// instead of a hardcoded constant: a queue of 20 draining at 2/s tells
+// the client to come back in 10s, not hammer every second.
+type drainTracker struct {
+	mu   sync.Mutex
+	ring [drainSamples]time.Time
+	n    int64
+}
+
+const (
+	drainSamples = 32
+	// drainWindow bounds how far back the rate estimate looks: a burst
+	// an hour ago says nothing about the current queue.
+	drainWindow   = 2 * time.Minute
+	retryAfterMin = 1
+	retryAfterMax = 30
+)
+
+func (d *drainTracker) note(t time.Time) {
+	d.mu.Lock()
+	d.ring[d.n%drainSamples] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// rate returns completions per second observed across the retained
+// samples inside the window, or 0 when there is not enough signal.
+func (d *drainTracker) rate(now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cutoff := now.Add(-drainWindow)
+	var oldest time.Time
+	count := 0
+	kept := d.n
+	if kept > drainSamples {
+		kept = drainSamples
+	}
+	for i := int64(0); i < kept; i++ {
+		t := d.ring[i]
+		if t.Before(cutoff) {
+			continue
+		}
+		if count == 0 || t.Before(oldest) {
+			oldest = t
+		}
+		count++
+	}
+	if count < 2 {
+		return 0
+	}
+	span := now.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(count) / span
+}
+
+// retryAfterSecs converts queue depth over drain rate into the
+// Retry-After seconds of a 429, clamped to [1, 30]. With no observed
+// drains (a cold or wedged server) it stays at the floor — the old
+// constant behavior.
+func (s *Server) retryAfterSecs() int64 {
+	rate := s.drains.rate(time.Now())
+	if rate <= 0 {
+		return retryAfterMin
+	}
+	eta := int64(math.Ceil(float64(s.queued.Load()+1) / rate))
+	if eta < retryAfterMin {
+		return retryAfterMin
+	}
+	if eta > retryAfterMax {
+		return retryAfterMax
+	}
+	return eta
 }
 
 // statusWriter remembers the response code and counts body bytes for

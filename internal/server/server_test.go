@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -377,8 +378,12 @@ func TestQueueFull429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, data)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "1" {
-		t.Errorf("Retry-After %q, want 1", ra)
+	// Retry-After is derived from the observed drain rate, so only its
+	// presence and bounds are contractual.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("Retry-After %q, want an integer in [1, 30]", ra)
 	}
 	var e ErrorResponse
 	decodeInto(t, data, &e)

@@ -67,6 +67,14 @@ type Options struct {
 	// identity; empty means {1, 4}.
 	Workers []int
 
+	// CacheDir, when non-empty, adds a persistent-cache lane to every
+	// engine check: evaluate into a disk-backed cache rooted here, close
+	// it (a simulated process exit), reopen the same directory with cold
+	// memory and evaluate again. The restarted run must return metrics
+	// bit-identical to every in-memory run — the determinism contract of
+	// the persistent result store.
+	CacheDir string
+
 	// MaxFailures bounds recorded failures (default 25); the sweep
 	// stops early once reached.
 	MaxFailures int
@@ -265,7 +273,7 @@ func Run(opts Options) (*Result, error) {
 					fail(pi, si, sched.Name(), "schedule", err.Error())
 					continue
 				}
-				n2, err := checkEngine(p, sched, k, d, copts, opts.workers())
+				n2, err := checkEngine(p, sched, k, d, copts, opts.workers(), opts.CacheDir)
 				res.Evaluations += n2
 				if err != nil {
 					fail(pi, si, sched.Name(), "engine", err.Error())
@@ -435,11 +443,24 @@ func checkSchedules(leaves []*ir.Module, sched schedule.Scheduler, k, d int, cop
 // checkEngine runs the full evaluation engine over the hierarchical
 // program — cold and warm cache at every requested worker count, with
 // the in-engine legality oracle on — and asserts every run returns
-// bit-identical metrics.
-func checkEngine(p *ir.Program, sched schedule.Scheduler, k, d int, copts comm.Options, workers []int) (int64, error) {
+// bit-identical metrics. A non-empty cacheDir adds the persistent lane:
+// populate a disk-backed cache, close it, reopen the directory with
+// cold memory (a simulated restart) and demand the same metrics again.
+func checkEngine(p *ir.Program, sched schedule.Scheduler, k, d int, copts comm.Options, workers []int, cacheDir string) (int64, error) {
 	var ref *core.Metrics
 	var refDesc string
 	var n int64
+	check := func(m *core.Metrics, desc string) error {
+		if ref == nil {
+			ref = m
+			refDesc = desc
+			return nil
+		}
+		if !reflect.DeepEqual(ref, m) {
+			return fmt.Errorf("metrics diverge: %s gave %+v, %s gave %+v", refDesc, *ref, desc, *m)
+		}
+		return nil
+	}
 	for _, w := range workers {
 		cache := core.NewEvalCache()
 		for run := 0; run < 2; run++ {
@@ -460,14 +481,39 @@ func checkEngine(p *ir.Program, sched schedule.Scheduler, k, d int, copts comm.O
 			if err != nil {
 				return n, fmt.Errorf("evaluate workers=%d cache=%s k=%d d=%d: %w", w, state, k, d, err)
 			}
-			if ref == nil {
-				ref = m
-				refDesc = fmt.Sprintf("workers=%d cache=%s", w, state)
-				continue
+			if err := check(m, fmt.Sprintf("workers=%d cache=%s", w, state)); err != nil {
+				return n, err
 			}
-			if !reflect.DeepEqual(ref, m) {
-				return n, fmt.Errorf("metrics diverge: %s gave %+v, workers=%d cache=%s gave %+v",
-					refDesc, *ref, w, state, *m)
+		}
+	}
+	if cacheDir != "" {
+		for run := 0; run < 2; run++ {
+			// Opening the same directory twice — with a Close in between —
+			// is the restart: run 0 populates the disk layer, run 1 starts
+			// with cold memory and must be served from it.
+			pc, err := core.OpenEvalCache(core.CacheConfig{Dir: cacheDir})
+			if err != nil {
+				return n, fmt.Errorf("persistent cache %s: %w", cacheDir, err)
+			}
+			m, err := core.Evaluate(p, core.EvalOptions{
+				Scheduler: sched,
+				K:         k,
+				D:         d,
+				Comm:      copts,
+				Verify:    true,
+				Cache:     pc,
+			})
+			pc.Close()
+			n++
+			state := "persist-cold"
+			if run == 1 {
+				state = "persist-restart"
+			}
+			if err != nil {
+				return n, fmt.Errorf("evaluate cache=%s k=%d d=%d: %w", state, k, d, err)
+			}
+			if err := check(m, fmt.Sprintf("cache=%s", state)); err != nil {
+				return n, err
 			}
 		}
 	}

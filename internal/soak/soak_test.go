@@ -125,6 +125,51 @@ func TestSoakWindowedReplayMatches(t *testing.T) {
 	}
 }
 
+// TestSoakPersistentCacheLane runs a small sweep with the restart lane
+// on: every engine check additionally populates a disk-backed cache,
+// closes it and re-evaluates through a reopened cache with cold memory.
+// The lane adds evaluations but must not add failures or perturb the
+// schedule digest, and a rerun over the now-populated directory must
+// agree — disk-served metrics are bit-identical across processes.
+func TestSoakPersistentCacheLane(t *testing.T) {
+	gen := verify.ProgramGenOptions{Loops: true}
+	base, err := soak.Run(soak.Options{Programs: 2, Seeds: 1, Workers: []int{1}, Gen: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Failed() {
+		t.Fatalf("baseline sweep failed: %+v", base.Failures)
+	}
+
+	dir := t.TempDir()
+	withDisk, err := soak.Run(soak.Options{Programs: 2, Seeds: 1, Workers: []int{1}, Gen: gen, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDisk.Failed() {
+		t.Fatalf("persistent lane failed: %+v", withDisk.Failures)
+	}
+	if withDisk.Evaluations <= base.Evaluations {
+		t.Errorf("restart lane added no evaluations: %d vs %d", withDisk.Evaluations, base.Evaluations)
+	}
+	if withDisk.Digest != base.Digest {
+		t.Errorf("persistent lane perturbed the sweep digest: %016x vs %016x", withDisk.Digest, base.Digest)
+	}
+
+	// Second process over the same directory: everything it evaluates is
+	// already on disk, and the results must still agree.
+	again, err := soak.Run(soak.Options{Programs: 2, Seeds: 1, Workers: []int{1}, Gen: gen, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Failed() {
+		t.Fatalf("second sweep over populated dir failed: %+v", again.Failures)
+	}
+	if again.Digest != base.Digest {
+		t.Errorf("populated-dir sweep drifted: %016x vs %016x", again.Digest, base.Digest)
+	}
+}
+
 // TestSoakReproLine checks the failure replay command round-trips the
 // sweep's generator and window configuration.
 func TestSoakReproLine(t *testing.T) {

@@ -13,6 +13,8 @@
 //	GET  /v1/healthz     liveness, queue depth, cache statistics
 //	GET  /v1/version     service/API versions, schedulers, benchmarks
 //	GET  /v1/debug/state live snapshot: flights, queue, cache, runtime
+//	GET  /v1/metrics/range historical metrics from the persistent store
+//	POST /v1/debug/snapshot freeze a postmortem bundle right now
 //	GET  /v1/dashboard   self-contained HTML ops dashboard
 //	GET  /metrics        Prometheus text metrics (/metrics.json for JSON)
 //	GET  /debug/pprof/   net/http/pprof, on the same port
@@ -28,6 +30,7 @@
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains
 // in-flight evaluations up to -shutdown-timeout, then aborts the rest.
+// SIGHUP reopens a file-backed access log (log rotation).
 package main
 
 import (
@@ -35,7 +38,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +49,7 @@ import (
 
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/obs"
+	"github.com/scaffold-go/multisimd/internal/obs/telem"
 	"github.com/scaffold-go/multisimd/internal/server"
 )
 
@@ -66,6 +69,10 @@ func main() {
 		cacheMemEntries = flag.Int("cache-mem-entries", 0, "in-memory cache entry budget (0 = unbounded)")
 		cacheDiskBudget = flag.String("cache-disk-budget", "", "on-disk store byte budget enforced by background compaction; empty = unbounded")
 		cachePreload    = flag.String("cache-preload", "", "read-only seed store `directory` served below -cache-dir (e.g. a committed corpus)")
+		telemetryDir    = flag.String("telemetry-dir", "", "`directory` for the persistent metrics store and postmortem bundles; empty = history lives only in memory")
+		telemetryRet    = flag.Duration("telemetry-retention", 24*time.Hour, "drop persisted samples older than this (negative = keep forever)")
+		telemetryBudget = flag.String("telemetry-budget", "64MiB", "telemetry store byte budget; old segments downsample then drop to stay under it (empty = unbounded)")
+		snapshotOnSlow  = flag.Bool("snapshot-on-slow", true, "write a postmortem bundle automatically on slow, error, and 429 responses")
 	)
 	flag.Parse()
 
@@ -92,24 +99,61 @@ func main() {
 	}
 	defer cache.Close()
 
-	sink, closeSink, err := openAccessLog(*accessLog)
+	alog, err := openAccessLog(*accessLog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qschedd:", err)
 		os.Exit(1)
 	}
-	if closeSink != nil {
-		defer closeSink()
+	defer alog.Close()
+
+	// SIGHUP is the log-rotation convention: the operator renames the
+	// live file aside and signals; the next line lands in a fresh file.
+	// Non-file sinks make Reopen a no-op, so signaling is always safe.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := alog.Reopen(); err != nil {
+				fmt.Fprintln(os.Stderr, "qschedd: access-log reopen:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "qschedd: access log reopened")
+			}
+		}
+	}()
+
+	telemBudget, err := parseByteSize(*telemetryBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qschedd: -telemetry-budget:", err)
+		os.Exit(1)
+	}
+	var store *telem.Store
+	if *telemetryDir != "" {
+		store, err = telem.Open(telem.Options{
+			Dir:       *telemetryDir,
+			Retention: *telemetryRet,
+			MaxBytes:  telemBudget,
+			Step:      *sampleEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qschedd: telemetry:", err)
+			os.Exit(1)
+		}
+		// Close after the server drains so the final sampler tick and any
+		// in-flight postmortem write land in sealed segments.
+		defer store.Close()
 	}
 
 	if err := run(*addr, server.Options{
-		MaxInflight:   *maxInflight,
-		MaxQueue:      *queue,
-		Timeout:       *timeout,
-		Workers:       *workers,
-		Cache:         cache,
-		AccessLog:     obs.NewAccessLog(sink),
-		SlowThreshold: *slowThreshold,
-		SampleEvery:   *sampleEvery,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *queue,
+		Timeout:        *timeout,
+		Workers:        *workers,
+		Cache:          cache,
+		AccessLog:      alog,
+		SlowThreshold:  *slowThreshold,
+		SampleEvery:    *sampleEvery,
+		Telemetry:      store,
+		NoAutoSnapshot: !*snapshotOnSlow,
 	}, *shutdownTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "qschedd:", err)
 		os.Exit(1)
@@ -147,23 +191,24 @@ func parseByteSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
-// openAccessLog resolves the -access-log flag to a writer: "" disables,
+// openAccessLog resolves the -access-log flag: "" disables (nil logger),
 // "-"/"stdout" and "stderr" are the process streams, anything else is a
-// file opened for append (created if missing).
-func openAccessLog(dest string) (io.Writer, func(), error) {
+// file opened for append (created if missing) that supports SIGHUP
+// rotation via Reopen.
+func openAccessLog(dest string) (*obs.AccessLog, error) {
 	switch dest {
 	case "":
-		return nil, nil, nil
+		return nil, nil
 	case "-", "stdout":
-		return os.Stdout, nil, nil
+		return obs.NewAccessLog(os.Stdout), nil
 	case "stderr":
-		return os.Stderr, nil, nil
+		return obs.NewAccessLog(os.Stderr), nil
 	}
-	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	l, err := obs.NewAccessLogFile(dest)
 	if err != nil {
-		return nil, nil, fmt.Errorf("access log: %w", err)
+		return nil, fmt.Errorf("access log: %w", err)
 	}
-	return f, func() { f.Close() }, nil
+	return l, nil
 }
 
 func run(addr string, opts server.Options, shutdownTimeout time.Duration) error {

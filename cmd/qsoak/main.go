@@ -92,15 +92,27 @@ func main() {
 		// either spammy on small sweeps or silent for minutes on big ones.
 		start := time.Now()
 		last := start
+		rate := soak.NewRateEstimator(time.Minute)
 		opts.Progress = func(u soak.ProgressUpdate) {
 			now := time.Now()
+			rate.Observe(now, float64(u.Instances))
 			if now.Sub(last) < *progressEvery && u.Done != u.Total {
 				return
 			}
 			last = now
-			fmt.Printf("qsoak: %d/%d programs, %d instances, %d schedules verified, %d engine runs, %d failures, %s elapsed\n",
+			line := fmt.Sprintf("qsoak: %d/%d programs, %d instances, %d schedules verified, %d engine runs, %d failures, %s elapsed",
 				u.Done, u.Total, u.Instances, u.Schedules, u.Evaluations, u.Failures,
 				now.Sub(start).Round(time.Second))
+			// ETA: scale instances seen so far to the full program count,
+			// then extrapolate the remainder at the rolling instances/sec
+			// (robust to the generator's wildly varying program sizes).
+			if u.Done > 0 && u.Done < u.Total {
+				estTotal := float64(u.Instances) * float64(u.Total) / float64(u.Done)
+				if d, ok := rate.ETA(estTotal - float64(u.Instances)); ok {
+					line += fmt.Sprintf(", ~%s left (%.0f inst/s)", d.Round(time.Second), rate.Rate())
+				}
+			}
+			fmt.Println(line)
 		}
 	}
 

@@ -9,6 +9,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 )
 
@@ -82,8 +83,10 @@ type AccessEntry struct {
 // *AccessLog is the disabled logger: Log no-ops and Enabled is false,
 // so instrumented paths call straight through without guarding.
 type AccessLog struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu   sync.Mutex
+	w    io.Writer
+	path string   // non-empty on file-backed logs (Reopen works)
+	f    *os.File // the open file of a file-backed log
 }
 
 // NewAccessLog returns a logger writing to w (nil w returns the
@@ -93,6 +96,48 @@ func NewAccessLog(w io.Writer) *AccessLog {
 		return nil
 	}
 	return &AccessLog{w: w}
+}
+
+// NewAccessLogFile returns a logger appending to the file at path
+// (created if missing). A file-backed log supports Reopen, the
+// log-rotation half of the SIGHUP convention.
+func NewAccessLogFile(path string) (*AccessLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessLog{w: f, path: path, f: f}, nil
+}
+
+// Reopen closes and reopens a file-backed sink at its original path:
+// the operator renames the live file aside, signals SIGHUP, and
+// subsequent lines land in a fresh file. The swap happens under the
+// write lock, so no line is dropped, split across files, or
+// interleaved. On failure the old sink stays in place. Non-file sinks
+// (and the nil logger) no-op.
+func (l *AccessLog) Reopen() error {
+	if l == nil || l.path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	old := l.f
+	l.f, l.w = f, f
+	l.mu.Unlock()
+	return old.Close()
+}
+
+// Close closes a file-backed sink (other sinks are the caller's).
+func (l *AccessLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
 }
 
 // Enabled reports whether records are being written. Call sites that

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"sort"
@@ -18,13 +19,25 @@ import (
 // are safe for concurrent use; the engine's worker pool traces each
 // task under the worker's slot id (tid), so the trace viewer renders
 // pool utilization as parallel tracks.
+//
+// Retention is bounded: past the limit, events are counted (Dropped)
+// instead of kept, mirroring DecisionLog — a long-lived service request
+// that spins must not grow the heap without bound.
 type Tracer struct {
-	mu     sync.Mutex
-	start  time.Time
-	now    func() time.Time
-	events []traceEvent
-	names  map[int64]string
+	mu      sync.Mutex
+	start   time.Time
+	now     func() time.Time
+	limit   int
+	events  []traceEvent
+	dropped int64
+	names   map[int64]string
 }
+
+// DefaultTraceLimit caps NewTracer's event retention. One event is
+// ~100 bytes; a million keeps any realistic request trace whole while
+// bounding the pathological ones (the same sizing argument as
+// DefaultDecisionLimit).
+const DefaultTraceLimit = 1 << 20
 
 // traceEvent is one Chrome trace-event record. Complete spans use
 // ph "X" with ts/dur in microseconds; instants use ph "i".
@@ -41,12 +54,20 @@ type traceEvent struct {
 }
 
 // NewTracer returns an enabled tracer whose timestamps are relative to
-// now.
+// now, retaining at most DefaultTraceLimit events.
 func NewTracer() *Tracer { return newTracerClock(time.Now) }
+
+// NewTracerLimit returns a tracer retaining at most limit events
+// (<= 0: unbounded). Events past the limit are counted, not kept.
+func NewTracerLimit(limit int) *Tracer {
+	t := newTracerClock(time.Now)
+	t.limit = limit
+	return t
+}
 
 // newTracerClock injects the clock, for deterministic golden tests.
 func newTracerClock(now func() time.Time) *Tracer {
-	return &Tracer{start: now(), now: now, names: map[int64]string{}}
+	return &Tracer{start: now(), now: now, limit: DefaultTraceLimit, names: map[int64]string{}}
 }
 
 // Enabled reports whether spans are being collected. Call sites that
@@ -78,8 +99,29 @@ func (t *Tracer) Instant(cat, name string, tid int64) {
 	}
 	ev := traceEvent{Name: name, Cat: cat, Ph: "i", TS: t.since(), PID: tracePID, TID: tid, S: "t"}
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	t.appendLocked(ev)
 	t.mu.Unlock()
+}
+
+// appendLocked records ev, or only counts it past the retention limit:
+// the head of a trace is the part that explains a run, and a bounded
+// buffer cannot keep both ends. Caller holds t.mu.
+func (t *Tracer) appendLocked(ev traceEvent) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Dropped reports how many events the retention limit discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // SetThreadName labels a track in the viewer ("main", "worker-03", ...).
@@ -144,7 +186,7 @@ func (s *Span) End() {
 		TS: s.start, Dur: dur, PID: tracePID, TID: s.tid, Args: s.args,
 	}
 	s.t.mu.Lock()
-	s.t.events = append(s.t.events, ev)
+	s.t.appendLocked(ev)
 	s.t.mu.Unlock()
 	s.t = nil
 }
@@ -176,6 +218,15 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 		})
 	}
 	events = append(events, t.events...)
+	if t.dropped > 0 {
+		// The "# dropped" trailer, as a metadata event so the file stays
+		// valid Perfetto-loadable JSON (DecisionLog's text trailer has no
+		// legal place inside a JSON array).
+		events = append(events, traceEvent{
+			Name: fmt.Sprintf("# dropped %d events past the %d-event limit", t.dropped, t.limit),
+			Ph:   "M", PID: tracePID,
+		})
+	}
 	t.mu.Unlock()
 
 	buf, err := json.MarshalIndent(traceFile{DisplayTimeUnit: "ms", TraceEvents: events}, "", " ")
@@ -215,6 +266,37 @@ type PhaseSummary struct {
 	MS    float64 `json:"ms"`
 }
 
+// SpanEvent is one completed span, the exported shape handed to the
+// flight recorder and rebuilt into Perfetto trace fragments by
+// postmortem bundles.
+type SpanEvent struct {
+	Cat  string `json:"cat,omitempty"`
+	Name string `json:"name"`
+	// TSUS/DurUS are start offset and duration in microseconds.
+	TSUS  int64 `json:"ts_us"`
+	DurUS int64 `json:"dur_us"`
+	TID   int64 `json:"tid,omitempty"`
+}
+
+// Events copies the completed spans (instants and metadata excluded) in
+// completion order. Nil tracer returns nil.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanEvent, 0, len(t.events))
+	for i := range t.events {
+		ev := &t.events[i]
+		if ev.Ph != "X" {
+			continue
+		}
+		out = append(out, SpanEvent{Cat: ev.Cat, Name: ev.Name, TSUS: ev.TS, DurUS: ev.Dur, TID: ev.TID})
+	}
+	return out
+}
+
 // Phases folds the recorded spans into per-(cat, name) totals, ordered
 // by total duration descending. max bounds the rows (0 = unbounded);
 // the overflow is folded into a final "(other)" row per category so the
@@ -224,15 +306,18 @@ func (t *Tracer) Phases(max int) []PhaseSummary {
 	if t == nil {
 		return nil
 	}
+	return AggregatePhases(t.Events(), max)
+}
+
+// AggregatePhases is Phases over an explicit span list: the same
+// fold, exposed so a postmortem bundle's trace fragment can be replayed
+// into exactly the aggregation the access log carried.
+func AggregatePhases(events []SpanEvent, max int) []PhaseSummary {
 	type key struct{ cat, name string }
-	t.mu.Lock()
 	agg := make(map[key]*PhaseSummary)
 	var order []key
-	for i := range t.events {
-		ev := &t.events[i]
-		if ev.Ph != "X" {
-			continue
-		}
+	for i := range events {
+		ev := &events[i]
 		k := key{ev.Cat, ev.Name}
 		p := agg[k]
 		if p == nil {
@@ -241,9 +326,8 @@ func (t *Tracer) Phases(max int) []PhaseSummary {
 			order = append(order, k)
 		}
 		p.Count++
-		p.MS += float64(ev.Dur) / 1000
+		p.MS += float64(ev.DurUS) / 1000
 	}
-	t.mu.Unlock()
 
 	out := make([]PhaseSummary, 0, len(order))
 	for _, k := range order {

@@ -9,6 +9,7 @@ package server
 
 import (
 	"github.com/scaffold-go/multisimd/internal/core"
+	"github.com/scaffold-go/multisimd/internal/obs/telem"
 	"github.com/scaffold-go/multisimd/internal/request"
 )
 
@@ -25,6 +26,12 @@ const (
 	CodeOverloaded    = "overloaded" // admission queue full; retry later
 	CodeTimeout       = "timeout"    // evaluation exceeded the request deadline
 	CodeShuttingDown  = "shutting_down"
+	// CodeTelemetryOff answers the telemetry endpoints when the server
+	// runs without a telemetry store (-telemetry-dir unset).
+	CodeTelemetryOff = "telemetry_disabled"
+	// CodeSnapshotFailed marks a postmortem bundle that could not be
+	// written (disk full, permissions).
+	CodeSnapshotFailed = "snapshot_failed"
 )
 
 // ErrorBody is the structured error payload. QueueDepth is set on
@@ -220,4 +227,41 @@ type DebugStateResponse struct {
 	Cache        core.CacheStats `json:"cache"`
 	Runtime      RuntimeState    `json:"runtime"`
 	SlowRequests []SlowRequest   `json:"slow_requests"`
+
+	// Telemetry is the persistent store's occupancy and maintenance
+	// counters; nil when the server runs without -telemetry-dir.
+	Telemetry *telem.Stats `json:"telemetry,omitempty"`
+}
+
+// TelemetrySchemaVersion versions the /v1/metrics/range and
+// /v1/debug/snapshot contracts, independently of the compile API and
+// of the on-disk segment/bundle schemas.
+const TelemetrySchemaVersion = 1
+
+// MetricsRangeResponse answers GET /v1/metrics/range. With a name, it
+// carries that series' points inside [from, to] folded onto the step
+// grid; without one, it lists every series the store knows.
+type MetricsRangeResponse struct {
+	Schema    int    `json:"schema"`
+	RequestID string `json:"request_id,omitempty"`
+
+	Name   string `json:"name,omitempty"`
+	FromMS int64  `json:"from_ms"`
+	ToMS   int64  `json:"to_ms"`
+	StepMS int64  `json:"step_ms,omitempty"`
+	// Points is never null: an empty range is []. On a series listing
+	// (no name) it is [] and Series carries the names.
+	Points []telem.Point `json:"points"`
+	Series []string      `json:"series,omitempty"`
+}
+
+// SnapshotResponse answers POST /v1/debug/snapshot: where the manual
+// postmortem bundle landed.
+type SnapshotResponse struct {
+	Schema    int    `json:"schema"`
+	RequestID string `json:"request_id,omitempty"`
+	Trigger   string `json:"trigger"`
+	Path      string `json:"path"`
+	// Requests is how many flight-recorder records the bundle carries.
+	Requests int `json:"requests"`
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/scaffold-go/multisimd/internal/obs"
+	"github.com/scaffold-go/multisimd/internal/obs/telem"
 )
 
 const (
@@ -107,8 +108,9 @@ func (s *Server) sampleNow() histSample {
 	}
 }
 
-// startSampler runs the runtime sampler and the dashboard history ring
-// on one cadence until the returned stop function is called.
+// startSampler runs the runtime sampler, the dashboard history ring
+// and (when telemetry is on) the persistent snapshot appender on one
+// cadence until the returned stop function is called.
 func (s *Server) startSampler(every time.Duration) func() {
 	stopRuntime := obs.StartRuntimeSampler(s.reg, every)
 	s.history.add(s.sampleNow())
@@ -120,6 +122,9 @@ func (s *Server) startSampler(every time.Duration) func() {
 			select {
 			case <-t.C:
 				s.history.add(s.sampleNow())
+				if s.telem != nil {
+					s.telem.Append(time.Now(), telem.Flatten(s.reg.Snapshot()))
+				}
 			case <-done:
 				return
 			}
@@ -132,6 +137,88 @@ func (s *Server) startSampler(every time.Duration) func() {
 			stopRuntime()
 		})
 	}
+}
+
+// trendSeries is the dashboard's four sparkline inputs, oldest first.
+type trendSeries struct {
+	rates, inflight, queued, heap []float64
+}
+
+// dashTrendPoints bounds how many points a telemetry-backed sparkline
+// folds the window onto (an SVG polyline past ~300 points is pixels).
+const dashTrendPoints = 300
+
+// dashTrendWindow is how far back the telemetry-backed dashboard looks,
+// clamped to the store's retention.
+const dashTrendWindow = 6 * time.Hour
+
+// trendFromTelem rebuilds the dashboard trends from the persistent
+// store. The returned window is 0 when there is no store or not enough
+// persisted history yet (callers fall back to the in-memory ring).
+func (s *Server) trendFromTelem(now time.Time) (trendSeries, time.Duration) {
+	var t trendSeries
+	if s.telem == nil {
+		return t, 0
+	}
+	window := dashTrendWindow
+	if ret := s.telem.Retention(); ret > 0 && ret < window {
+		window = ret
+	}
+	from := now.Add(-window)
+	step := window / dashTrendPoints
+	if step < s.opts.SampleEvery {
+		step = s.opts.SampleEvery
+	}
+	reqs := s.telem.Query("server.requests", from, now, step)
+	if len(reqs) < 2 {
+		// A short history (just-started daemon) can fold into a single
+		// step bucket; retry at raw resolution before giving up on the
+		// store. Raw is bounded here: little history is the premise.
+		step = 0
+		reqs = s.telem.Query("server.requests", from, now, step)
+	}
+	if len(reqs) < 2 {
+		return t, 0
+	}
+	for i := 1; i < len(reqs); i++ {
+		dt := float64(reqs[i].TSMS-reqs[i-1].TSMS) / 1000
+		if dt <= 0 {
+			continue
+		}
+		d := reqs[i].V - reqs[i-1].V
+		if d < 0 {
+			d = 0 // counter reset across a restart, not negative traffic
+		}
+		t.rates = append(t.rates, d/dt)
+	}
+	for _, p := range s.telem.Query("server.inflight", from, now, step) {
+		t.inflight = append(t.inflight, p.V)
+	}
+	for _, p := range s.telem.Query("server.queued", from, now, step) {
+		t.queued = append(t.queued, p.V)
+	}
+	for _, p := range s.telem.Query(obs.GaugeHeapAlloc, from, now, step) {
+		t.heap = append(t.heap, p.V/(1<<20))
+	}
+	return t, window
+}
+
+// trendFromRing is the in-memory fallback: the pre-telemetry dashboard
+// behavior, five minutes of ring.
+func trendFromRing(samples []histSample) trendSeries {
+	var t trendSeries
+	for i, sm := range samples {
+		if i > 0 {
+			dt := sm.t.Sub(samples[i-1].t).Seconds()
+			if dt > 0 {
+				t.rates = append(t.rates, float64(sm.requests-samples[i-1].requests)/dt)
+			}
+		}
+		t.inflight = append(t.inflight, float64(sm.inflight))
+		t.queued = append(t.queued, float64(sm.queued))
+		t.heap = append(t.heap, float64(sm.heapAlloc)/(1<<20))
+	}
+	return t
 }
 
 // sparkView is one precomputed SVG sparkline: geometry is done in Go so
@@ -190,27 +277,23 @@ type dashView struct {
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	state := s.debugState()
-	samples := s.history.list()
 	snap := s.reg.Snapshot()
 
-	rates := make([]float64, 0, len(samples))
-	inflight := make([]float64, 0, len(samples))
-	queued := make([]float64, 0, len(samples))
-	heap := make([]float64, 0, len(samples))
-	for i, sm := range samples {
-		if i > 0 {
-			dt := sm.t.Sub(samples[i-1].t).Seconds()
-			if dt > 0 {
-				rates = append(rates, float64(sm.requests-samples[i-1].requests)/dt)
-			}
-		}
-		inflight = append(inflight, float64(sm.inflight))
-		queued = append(queued, float64(sm.queued))
-		heap = append(heap, float64(sm.heapAlloc)/(1<<20))
+	// With a telemetry store the trends rebuild from persisted history —
+	// hours of sparkline that survive restarts. Without one (or before
+	// the first seal lands), the in-memory ring's five minutes stand in.
+	trends, window := s.trendFromTelem(time.Now())
+	if window == 0 {
+		trends = trendFromRing(s.history.list())
+		window = time.Duration(historySamples) * s.opts.SampleEvery
 	}
 	latestRate := 0.0
-	if len(rates) > 0 {
-		latestRate = rates[len(rates)-1]
+	if n := len(trends.rates); n > 0 {
+		latestRate = trends.rates[n-1]
+	}
+	rateTitle := "requests/s"
+	if window > 0 {
+		rateTitle = fmt.Sprintf("requests/s (last %s)", window.Round(time.Second))
 	}
 
 	cache := state.Cache
@@ -250,13 +333,21 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 				float64(state.Runtime.GCPauseLastNS)/1e6)},
 		},
 		Sparks: []sparkView{
-			sparkline("requests/s", fmt.Sprintf("%.1f", latestRate), rates),
-			sparkline("inflight", fmt.Sprint(state.Inflight), inflight),
-			sparkline("queued", fmt.Sprint(state.QueueDepth), queued),
-			sparkline("heap MiB", fmt.Sprintf("%.1f", float64(state.Runtime.HeapAllocBytes)/(1<<20)), heap),
+			sparkline(rateTitle, fmt.Sprintf("%.1f", latestRate), trends.rates),
+			sparkline("inflight", fmt.Sprint(state.Inflight), trends.inflight),
+			sparkline("queued", fmt.Sprint(state.QueueDepth), trends.queued),
+			sparkline("heap MiB", fmt.Sprintf("%.1f", float64(state.Runtime.HeapAllocBytes)/(1<<20)), trends.heap),
 		},
 		Flights: state.Flights,
 		Slow:    state.SlowRequests,
+	}
+	if ts := state.Telemetry; ts != nil {
+		view.Status = append(view.Status,
+			dashRow{"telemetry", fmt.Sprintf("%d segments, %.1f MiB, %d series, %d buffered",
+				ts.Segments, float64(ts.Bytes)/(1<<20), ts.Series, ts.BufferedSamples)},
+			dashRow{"telemetry maintenance", fmt.Sprintf("%d sealed, %d downsampled, %d aged out, %d over budget, %d corrupt",
+				ts.Sealed, ts.Downsampled, ts.DroppedAge, ts.DroppedBudget, ts.Corrupt)},
+		)
 	}
 	// Latency quantile table: every endpoint histogram plus the
 	// aggregate, from the same snapshot /metrics serves.

@@ -19,6 +19,7 @@ import (
 	"github.com/scaffold-go/multisimd/internal/epr"
 	"github.com/scaffold-go/multisimd/internal/ir"
 	"github.com/scaffold-go/multisimd/internal/obs"
+	"github.com/scaffold-go/multisimd/internal/obs/telem"
 	"github.com/scaffold-go/multisimd/internal/report"
 	"github.com/scaffold-go/multisimd/internal/request"
 	"github.com/scaffold-go/multisimd/internal/schedule"
@@ -36,6 +37,23 @@ const statusClientClosedRequest = 499
 // maxLogPhases caps the per-phase rows a slow request's access-log
 // entry carries; the tail folds into "(other)" rows per category.
 const maxLogPhases = 12
+
+// recorderDecisionCap bounds the per-flight decision log collected for
+// the flight recorder; recorderDecisionTail is how much of it a request
+// record keeps (the end of the log is where a stall shows).
+const (
+	recorderDecisionCap  = 4096
+	recorderDecisionTail = 64
+)
+
+// decisionTail returns the last max entries of a decision log.
+func decisionTail(l *obs.DecisionLog, max int) []obs.Decision {
+	ents := l.Entries()
+	if len(ents) > max {
+		ents = ents[len(ents)-max:]
+	}
+	return ents
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -93,6 +111,11 @@ type flightStats struct {
 	evalMS      float64
 	cache       obs.AccessCache
 	phases      []obs.PhaseSummary
+
+	// spans/decisions feed the flight recorder; empty when telemetry is
+	// off (nobody pays for copies the recorder would drop).
+	spans     []obs.SpanEvent
+	decisions []obs.Decision
 }
 
 // evalResult is what one evaluation flight produces: the metrics,
@@ -138,6 +161,14 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 		// aggregate into the shared registry.
 		tr := obs.NewTracer()
 		eopts.Obs = &obs.Observer{Trace: tr, Metrics: s.reg}
+		// With the flight recorder on, also capture the scheduler's
+		// decision log so a postmortem can say not just how long the
+		// schedule phase took but what it chose.
+		var dlog *obs.DecisionLog
+		if s.recorder != nil {
+			dlog = obs.NewDecisionLogLimit(obs.LevelStep, recorderDecisionCap)
+			eopts.Scheduler = core.WithDecisionLog(eopts.Scheduler, dlog)
+		}
 		var collector *report.Collector
 		if req.Profile {
 			collector = report.NewCollector()
@@ -165,6 +196,10 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 			},
 			phases: tr.Phases(maxLogPhases),
 		}}
+		if s.recorder != nil {
+			res.stats.spans = tr.Events()
+			res.stats.decisions = decisionTail(dlog, recorderDecisionTail)
+		}
 		if collector != nil {
 			res.rep = core.BuildReport(collector, req.Label(), m, eopts)
 		}
@@ -197,6 +232,8 @@ func (s *Server) evaluate(ctx context.Context, req request.Config, prog programB
 		c := res.stats.cache
 		info.cache = &c
 		info.phases = res.stats.phases
+		info.spans = res.stats.spans
+		info.decisions = res.stats.decisions
 	}
 	return res, deduped, nil
 }
@@ -481,6 +518,11 @@ func (s *Server) debugState() DebugStateResponse {
 		})
 	}
 	sort.Slice(flights, func(i, j int) bool { return flights[i].AgeMS > flights[j].AgeMS })
+	var telemStats *telem.Stats
+	if s.telem != nil {
+		st := s.telem.Stats()
+		telemStats = &st
+	}
 	return DebugStateResponse{
 		Schema:      DebugSchemaVersion,
 		Status:      status,
@@ -500,6 +542,7 @@ func (s *Server) debugState() DebugStateResponse {
 			GCPauseLastNS:  s.reg.Gauge(obs.GaugeGCPauseLast).Value(),
 		},
 		SlowRequests: s.slow.list(),
+		Telemetry:    telemStats,
 	}
 }
 

@@ -28,6 +28,11 @@ type reqInfo struct {
 	cache       *obs.AccessCache
 	phases      []obs.PhaseSummary
 
+	// Flight-recorder payload (filled only when telemetry is enabled):
+	// the evaluation's raw spans and decision-log tail.
+	spans     []obs.SpanEvent
+	decisions []obs.Decision
+
 	// Error context, filled by writeError.
 	queueDepth int64 // admission queue depth at a 429
 	errMsg     string

@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +14,7 @@ import (
 
 	"github.com/scaffold-go/multisimd/internal/core"
 	"github.com/scaffold-go/multisimd/internal/obs"
+	"github.com/scaffold-go/multisimd/internal/obs/telem"
 )
 
 // Options configures a Server. The zero value is usable: every field
@@ -48,6 +51,24 @@ type Options struct {
 	// dashboard history ring. Default: 2 seconds. Set negative to
 	// disable sampling (no runtime gauges, empty dashboard sparklines).
 	SampleEvery time.Duration
+
+	// Telemetry is the persistent telemetry store (nil = telemetry off:
+	// no sampler persistence, no flight recorder, the telemetry
+	// endpoints answer telemetry_disabled, and the request hot path pays
+	// nothing). The caller opens and closes it; the server only appends.
+	Telemetry *telem.Store
+	// FlightRecords bounds the flight recorder's recent-request ring
+	// (0 = telem.DefaultFlightRecords). Only meaningful with Telemetry.
+	FlightRecords int
+	// NoAutoSnapshot disables the automatic postmortem bundles written
+	// when a request ends slow, overloaded (429) or errored (5xx);
+	// POST /v1/debug/snapshot keeps working. The zero value — automatic
+	// bundles on — is the useful default.
+	NoAutoSnapshot bool
+	// BundleMinGap rate-limits automatic bundles: at most one per gap
+	// (an overload storm must not turn into a disk-write storm).
+	// Default 10s; negative = no limit.
+	BundleMinGap time.Duration
 }
 
 // errBusy marks an admission rejection (queue full).
@@ -78,6 +99,10 @@ type Server struct {
 	history     *history
 	slow        *slowRing
 	drains      drainTracker
+
+	telem      *telem.Store
+	recorder   *telem.FlightRecorder
+	lastBundle atomic.Int64 // unix nanos of the last automatic bundle
 
 	inflightGauge *obs.Gauge
 	queuedGauge   *obs.Gauge
@@ -114,6 +139,9 @@ func New(opts Options) *Server {
 	if opts.SampleEvery == 0 {
 		opts.SampleEvery = 2 * time.Second
 	}
+	if opts.BundleMinGap == 0 {
+		opts.BundleMinGap = 10 * time.Second
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
@@ -138,6 +166,10 @@ func New(opts Options) *Server {
 		errsAll:       opts.Registry.Counter("server.errors"),
 		latAll:        opts.Registry.Histogram("server.latency_ms"),
 	}
+	if opts.Telemetry != nil {
+		s.telem = opts.Telemetry
+		s.recorder = telem.NewFlightRecorder(opts.FlightRecords)
+	}
 	s.routes()
 	if opts.SampleEvery > 0 {
 		s.stopSampler = s.startSampler(opts.SampleEvery)
@@ -156,6 +188,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
 	s.mux.HandleFunc("GET /v1/debug/state", s.instrument("debug_state", s.handleDebugState))
+	s.mux.HandleFunc("POST /v1/debug/snapshot", s.instrument("debug_snapshot", s.handleDebugSnapshot))
+	s.mux.HandleFunc("GET /v1/metrics/range", s.instrument("metrics_range", s.handleMetricsRange))
 	s.mux.HandleFunc("GET /v1/dashboard", s.instrument("dashboard", s.handleDashboard))
 	obs.RegisterMetrics(s.mux, s.reg)
 	obs.RegisterPprof(s.mux)
@@ -402,7 +436,74 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			s.accessLog.Log(e)
 		}
+		// Flight recorder + automatic postmortems (telemetry enabled
+		// only; a nil recorder costs this one branch).
+		if s.recorder != nil {
+			s.recordRequest(info, r, sw.code, start, dur, slow)
+		}
 	}
+}
+
+// recordRequest feeds the flight recorder and, when the request ended
+// badly, freezes the ring into an automatic postmortem bundle. Runs
+// after the response is written, so bundle I/O never delays a client.
+func (s *Server) recordRequest(info *reqInfo, r *http.Request, status int, start time.Time, dur time.Duration, slow bool) {
+	rec := telem.RequestRecord{
+		ID:       info.id,
+		Endpoint: info.endpoint,
+		Status:   status,
+		Time:     start.UTC().Format(accessTimeFormat),
+		DurMS:    float64(dur.Microseconds()) / 1000,
+		Role:     info.role,
+
+		QueueWaitMS: info.queueWaitMS,
+		EvalMS:      info.evalMS,
+		Cache:       info.cache,
+		Err:         info.errMsg,
+
+		Phases:    info.phases,
+		Spans:     info.spans,
+		Decisions: info.decisions,
+	}
+	s.recorder.Record(rec)
+
+	var trigger string
+	switch {
+	case status == http.StatusTooManyRequests:
+		trigger = "overloaded"
+	case status >= 500:
+		trigger = "error"
+	case slow:
+		trigger = "slow"
+	default:
+		return
+	}
+	if s.opts.NoAutoSnapshot || !s.bundleGapElapsed(time.Now()) {
+		return
+	}
+	_, _ = s.writeBundle(trigger, rec.ID, &rec)
+}
+
+// bundleGapElapsed claims the automatic-bundle rate-limit slot: true
+// means the caller may write (and the timestamp has been advanced).
+func (s *Server) bundleGapElapsed(now time.Time) bool {
+	gap := s.opts.BundleMinGap
+	if gap < 0 {
+		return true
+	}
+	last := s.lastBundle.Load()
+	return now.UnixNano()-last >= gap.Nanoseconds() &&
+		s.lastBundle.CompareAndSwap(last, now.UnixNano())
+}
+
+// writeBundle freezes the flight recorder, metrics and debug state into
+// one postmortem bundle under <telemetry-dir>/postmortem.
+func (s *Server) writeBundle(trigger, requestID string, req *telem.RequestRecord) (string, error) {
+	now := time.Now()
+	state, _ := json.Marshal(s.debugState())
+	b := telem.BuildBundle("qschedd", trigger, now.UTC().Format(accessTimeFormat),
+		requestID, req, s.recorder.Recent(), s.reg.Snapshot(), state)
+	return telem.WriteBundle(filepath.Join(s.telem.Dir(), "postmortem"), b, now)
 }
 
 // accessTimeFormat is RFC 3339 with millisecond precision, the access

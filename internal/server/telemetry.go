@@ -1,0 +1,138 @@
+package server
+
+// The telemetry API surface: range queries over the persistent store
+// and operator-triggered postmortem snapshots. Both answer
+// telemetry_disabled (404) when the daemon runs without -telemetry-dir,
+// so probes can distinguish "off" from "empty".
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/scaffold-go/multisimd/internal/obs/telem"
+)
+
+// maxRangeWindow bounds one range query; asking for a year of 2s
+// samples is a mistake, not a dashboard.
+const maxRangeWindow = 7 * 24 * time.Hour
+
+// parseTimeParam accepts unix milliseconds or RFC 3339.
+func parseTimeParam(v string) (time.Time, error) {
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.UnixMilli(ms), nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("want unix milliseconds or RFC 3339, got %q", v)
+	}
+	return t, nil
+}
+
+// parseStepParam accepts a Go duration ("30s") or integer milliseconds.
+func parseStepParam(v string) (time.Duration, error) {
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("want a duration or integer milliseconds, got %q", v)
+	}
+	return d, nil
+}
+
+// handleMetricsRange answers GET /v1/metrics/range?name=&from=&to=&step=.
+// Defaults: to = now, from = to - 1h, step = raw samples. Without a
+// name it lists the known series instead.
+func (s *Server) handleMetricsRange(w http.ResponseWriter, r *http.Request) {
+	if s.telem == nil {
+		writeError(w, r, http.StatusNotFound, CodeTelemetryOff,
+			"telemetry store not configured; start qschedd with -telemetry-dir")
+		return
+	}
+	q := r.URL.Query()
+	to := time.Now()
+	if v := q.Get("to"); v != "" {
+		t, err := parseTimeParam(v)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "to: "+err.Error())
+			return
+		}
+		to = t
+	}
+	from := to.Add(-time.Hour)
+	if v := q.Get("from"); v != "" {
+		t, err := parseTimeParam(v)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "from: "+err.Error())
+			return
+		}
+		from = t
+	}
+	if !from.Before(to) {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "from must precede to")
+		return
+	}
+	if to.Sub(from) > maxRangeWindow {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("window exceeds %s; narrow the range", maxRangeWindow))
+		return
+	}
+	var step time.Duration
+	if v := q.Get("step"); v != "" {
+		d, err := parseStepParam(v)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "step: "+err.Error())
+			return
+		}
+		if d < 0 {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "step must be non-negative")
+			return
+		}
+		step = d
+	}
+
+	resp := MetricsRangeResponse{
+		Schema:    TelemetrySchemaVersion,
+		RequestID: requestID(r),
+		FromMS:    from.UnixMilli(),
+		ToMS:      to.UnixMilli(),
+		StepMS:    step.Milliseconds(),
+	}
+	if name := q.Get("name"); name != "" {
+		resp.Name = name
+		resp.Points = s.telem.Query(name, from, to, step)
+	} else {
+		resp.Series = s.telem.Series()
+	}
+	if resp.Points == nil {
+		resp.Points = []telem.Point{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugSnapshot answers POST /v1/debug/snapshot: freeze the
+// flight recorder into a manual postmortem bundle right now. Manual
+// snapshots bypass the automatic bundles' rate limit — an operator
+// asking twice means it.
+func (s *Server) handleDebugSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.telem == nil {
+		writeError(w, r, http.StatusNotFound, CodeTelemetryOff,
+			"telemetry store not configured; start qschedd with -telemetry-dir")
+		return
+	}
+	n := s.recorder.Len()
+	path, err := s.writeBundle("manual", requestID(r), nil)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, CodeSnapshotFailed, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Schema:    TelemetrySchemaVersion,
+		RequestID: requestID(r),
+		Trigger:   "manual",
+		Path:      path,
+		Requests:  n,
+	})
+}

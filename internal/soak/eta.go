@@ -1,0 +1,78 @@
+package soak
+
+// Rolling throughput estimation for long sweeps. The generator's
+// program sizes vary wildly, so "average since start" lies for hours
+// after a slow stretch; a windowed rate tracks what the sweep is doing
+// now, which is what an ETA should extrapolate from.
+
+import "time"
+
+// rateObs is one (time, counter) observation.
+type rateObs struct {
+	t time.Time
+	v float64
+}
+
+// RateEstimator turns observations of a monotonically increasing
+// counter into a rolling rate over a fixed wall-clock window. The zero
+// value is unusable; use NewRateEstimator.
+type RateEstimator struct {
+	window time.Duration
+	obs    []rateObs // oldest first, spans at most window
+}
+
+// DefaultRateWindow is the rolling window when NewRateEstimator gets a
+// non-positive one.
+const DefaultRateWindow = time.Minute
+
+// NewRateEstimator returns an estimator with the given rolling window
+// (non-positive selects DefaultRateWindow).
+func NewRateEstimator(window time.Duration) *RateEstimator {
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	return &RateEstimator{window: window}
+}
+
+// Observe records the counter's value at t. Observations must arrive in
+// time order; ones older than the window fall off the front, but the
+// estimator always keeps at least two so Rate stays answerable on
+// cadences slower than the window.
+func (e *RateEstimator) Observe(t time.Time, v float64) {
+	e.obs = append(e.obs, rateObs{t, v})
+	cut := t.Add(-e.window)
+	i := 0
+	for i < len(e.obs)-2 && e.obs[i].t.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		e.obs = append(e.obs[:0], e.obs[i:]...)
+	}
+}
+
+// Rate is the windowed throughput in counter units per second: the
+// value delta across the retained observations over their time span.
+// Zero until two observations exist (or when time stands still).
+func (e *RateEstimator) Rate() float64 {
+	n := len(e.obs)
+	if n < 2 {
+		return 0
+	}
+	dt := e.obs[n-1].t.Sub(e.obs[0].t).Seconds()
+	dv := e.obs[n-1].v - e.obs[0].v
+	if dt <= 0 || dv < 0 {
+		return 0
+	}
+	return dv / dt
+}
+
+// ETA extrapolates how long the remaining counter units take at the
+// current rolling rate. ok is false while the rate is unknown (fewer
+// than two observations, a stall) or remaining is negative.
+func (e *RateEstimator) ETA(remaining float64) (time.Duration, bool) {
+	r := e.Rate()
+	if r <= 0 || remaining < 0 {
+		return 0, false
+	}
+	return time.Duration(remaining / r * float64(time.Second)), true
+}

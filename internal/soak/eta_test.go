@@ -1,0 +1,72 @@
+package soak
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateEstimatorSteadyRate(t *testing.T) {
+	e := NewRateEstimator(time.Minute)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i <= 10; i++ {
+		e.Observe(t0.Add(time.Duration(i)*time.Second), float64(5*i))
+	}
+	if r := e.Rate(); r < 4.99 || r > 5.01 {
+		t.Fatalf("rate = %v, want 5/s", r)
+	}
+	d, ok := e.ETA(50)
+	if !ok || d != 10*time.Second {
+		t.Fatalf("ETA(50) = %v, %v; want 10s, true", d, ok)
+	}
+}
+
+func TestRateEstimatorWindowTracksSpeedup(t *testing.T) {
+	// 1/s for a minute, then 10/s: a 10s window must report the recent
+	// rate, not the lifetime average.
+	e := NewRateEstimator(10 * time.Second)
+	t0 := time.Unix(1000, 0)
+	v := 0.0
+	for i := 0; i < 60; i++ {
+		e.Observe(t0.Add(time.Duration(i)*time.Second), v)
+		v++
+	}
+	for i := 60; i < 80; i++ {
+		e.Observe(t0.Add(time.Duration(i)*time.Second), v)
+		v += 10
+	}
+	if r := e.Rate(); r < 9.5 {
+		t.Fatalf("windowed rate = %v, want ~10/s after the speedup", r)
+	}
+}
+
+func TestRateEstimatorKeepsTwoPastWindow(t *testing.T) {
+	// Observation cadence slower than the window: the estimator keeps
+	// the last pair so the rate never collapses to "unknown".
+	e := NewRateEstimator(time.Second)
+	t0 := time.Unix(1000, 0)
+	e.Observe(t0, 0)
+	e.Observe(t0.Add(30*time.Second), 60)
+	e.Observe(t0.Add(60*time.Second), 120)
+	if r := e.Rate(); r < 1.99 || r > 2.01 {
+		t.Fatalf("rate = %v, want 2/s from the retained pair", r)
+	}
+}
+
+func TestRateEstimatorUnknowns(t *testing.T) {
+	e := NewRateEstimator(0)
+	if r := e.Rate(); r != 0 {
+		t.Fatalf("empty estimator rate = %v", r)
+	}
+	if _, ok := e.ETA(10); ok {
+		t.Fatal("ETA answered with no observations")
+	}
+	t0 := time.Unix(1000, 0)
+	e.Observe(t0, 5)
+	if _, ok := e.ETA(10); ok {
+		t.Fatal("ETA answered with one observation")
+	}
+	e.Observe(t0.Add(time.Second), 10)
+	if _, ok := e.ETA(-1); ok {
+		t.Fatal("ETA answered for negative remaining work")
+	}
+}
